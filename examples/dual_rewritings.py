@@ -1,0 +1,64 @@
+"""Dual rewritings: maximally contained vs minimally containing.
+
+Section 5 of the paper names the dual of its main problem — *containing*
+rewritings that return all answers and possibly more — as a research
+direction.  This example computes both for the same instance and shows how
+they bracket the query:
+
+    exp(contained)  subseteq  L(E0)  subseteq  exp(containing)
+
+so the contained rewriting yields certain answers and the containing one
+a complete set of candidates to filter.
+
+Run with::
+
+    python examples/dual_rewritings.py
+"""
+
+from repro import ViewSet, maximal_rewriting
+from repro.core import existential_rewriting
+
+
+def main() -> None:
+    e0 = "a.b.b*"
+    views = ViewSet({"e1": "a.b", "e2": "b", "e3": "b.b"})
+    print(f"Query E0 = {e0}")
+    for symbol in views.symbols:
+        print(f"View  {symbol} = {views.re(symbol)}")
+
+    contained = maximal_rewriting(e0, views)
+    print("\nMaximally contained rewriting (certain answers):")
+    print("  ", contained.regex())
+    print("   exact:", contained.is_exact())
+
+    containing = existential_rewriting(e0, views)
+    print("\nExistential rewriting (candidate answers):")
+    print("  ", containing.regex())
+    print("   covers E0:", containing.covers())
+
+    print("\nWord-level comparison (up to length 2):")
+    print(f"  {'word':<12} {'contained':<10} containing")
+    for length in range(3):
+        from itertools import product
+
+        for word in product(views.symbols, repeat=length):
+            in_contained = contained.accepts(word)
+            in_containing = containing.accepts(word)
+            if in_contained or in_containing:
+                rendered = ".".join(word) or "(empty)"
+                print(f"  {rendered:<12} {str(in_contained):<10} {in_containing}")
+            # sanity: contained words whose expansion is nonempty must be
+            # containing words too
+            if in_contained and not in_containing:
+                raise AssertionError(word)
+
+    # A case where no containing rewriting exists at all.
+    poor_views = ViewSet({"e1": "a"})
+    orphan = existential_rewriting("a+d", poor_views)
+    print("\nWith views {a} for the query a+d:")
+    print("   covers:", orphan.covers())
+    print("   unreachable query word:", orphan.coverage_counterexample())
+
+
+if __name__ == "__main__":
+    main()

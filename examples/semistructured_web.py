@@ -1,0 +1,116 @@
+"""Semi-structured web data: the introduction's travel query.
+
+The paper opens with the regular path query
+
+    _* . (rome + jerusalem) . _* . restaurant
+
+over a web-like labelled graph.  This example evaluates it directly, then
+rewrites it over a set of views (precomputed navigation indexes) and
+compares the answers, exercising the Section 4 machinery with formulae of
+a theory: ``City`` and ``Restaurant`` are predicates over the edge domain.
+
+Run with::
+
+    python examples/semistructured_web.py
+"""
+
+from repro.regex.ast import concat, star, sym
+from repro.rpq import (
+    RPQ,
+    GraphDB,
+    Pred,
+    RPQViews,
+    Theory,
+    evaluate,
+    find_partial_rpq_rewritings,
+    rewrite_rpq,
+)
+from repro.rpq.formulas import TOP
+
+
+def build_web() -> GraphDB:
+    db = GraphDB()
+    # A small web of travel pages.
+    db.add_edge("start", "portal", "travel")
+    db.add_edge("travel", "rome", "rome_page")
+    db.add_edge("travel", "jerusalem", "jlm_page")
+    db.add_edge("travel", "paris", "paris_page")
+    db.add_edge("rome_page", "link", "rome_food")
+    db.add_edge("rome_food", "trattoria", "review1")
+    db.add_edge("jlm_page", "falafel", "review2")
+    db.add_edge("paris_page", "bistro", "review3")
+    db.add_edge("review1", "link", "review2")
+    return db
+
+
+def main() -> None:
+    db = build_web()
+    theory = Theory(
+        domain={
+            "portal", "link",
+            "rome", "jerusalem", "paris",
+            "trattoria", "falafel", "bistro",
+        },
+        predicates={
+            "City": {"rome", "jerusalem", "paris"},
+            "Restaurant": {"trattoria", "falafel", "bistro"},
+        },
+    )
+
+    # _* . (rome + jerusalem) . _* . Restaurant
+    q0 = RPQ(
+        concat(
+            star(sym(TOP)),
+            sym("rome") + sym("jerusalem"),
+            star(sym(TOP)),
+            sym(Pred("Restaurant")),
+        ),
+        name="holy-city-restaurants",
+    )
+    direct = evaluate(db, q0, theory)
+    print("Direct answers to", q0)
+    for pair in sorted(direct):
+        print("  ", pair)
+
+    # Views: a generic city index cannot separate rome/jerusalem from
+    # paris — the rewriting over it is empty.
+    weak_views = RPQViews(
+        {
+            "vCity": RPQ(sym(Pred("City")), name="city-index"),
+            "vRest": RPQ(sym(Pred("Restaurant")), name="restaurant-index"),
+            "vNav": RPQ(star(sym("portal") + sym("link")), name="navigation"),
+        }
+    )
+    weak = rewrite_rpq(q0, weak_views, theory)
+    print("\nRewriting over generic indexes:", weak.regex())
+    print("(empty: a City edge might be paris, which Q0 forbids)")
+
+    # A dedicated holy-city index makes the views useful.
+    views = weak_views.extended(
+        {"vHoly": RPQ(sym("rome") + sym("jerusalem"), name="holy-city-index")}
+    )
+    result = rewrite_rpq(q0, views, theory)
+    print("\nMaximal rewriting with the holy-city index:", result.regex())
+    print("Exact:", result.is_exact())
+    via_views = result.answer(db)
+    print(f"Answers via views: {len(via_views)} of {len(direct)}")
+    assert via_views == direct  # exact rewriting recovers everything
+
+    # Section 4.3: starting from the *weak* views instead, the partial-
+    # rewriting search discovers which atomic views must be added.
+    solutions = find_partial_rpq_rewritings(
+        q0, weak_views, theory, max_added=2, find_all_minimal=True
+    )
+    print("\nMinimal atomic-view extensions repairing the weak indexes:")
+    for solution in solutions:
+        print(
+            "  add predicates",
+            solution.added_predicates or "()",
+            "constants",
+            solution.added_constants or "()",
+        )
+        assert solution.result.is_exact()
+
+
+if __name__ == "__main__":
+    main()

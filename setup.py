@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, which PEP 517
+editable installs require; this shim lets ``pip install -e .`` fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

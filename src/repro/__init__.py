@@ -1,0 +1,55 @@
+"""repro — Rewriting of Regular Expressions and Regular Path Queries.
+
+A from-scratch reproduction of Calvanese, De Giacomo, Lenzerini and Vardi,
+"Rewriting of Regular Expressions and Regular Path Queries" (PODS 1999;
+JCSS 64:443-465, 2002): view-based query rewriting for regular languages and
+regular path queries over semi-structured (graph) databases.
+
+Quickstart (the paper's Figure 1 / Examples 2.2-2.3)::
+
+    from repro import maximal_rewriting, ViewSet
+
+    views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+    rewriting = maximal_rewriting("a.(b.a+c)*", views)
+    print(rewriting.regex())    # e2*.e1.e3*
+    print(rewriting.is_exact()) # True
+
+Package layout:
+
+* :mod:`repro.regex` — regular-expression toolkit (AST, parser, derivatives);
+* :mod:`repro.automata` — NFA/DFA substrate with all boolean operations;
+* :mod:`repro.core` — Section 2/3 rewriting engine (this is the paper's
+  main contribution);
+* :mod:`repro.rpq` — Section 4: regular path queries over graph databases,
+  theories of edge formulae, view-based RPQ rewriting and answering;
+* :mod:`repro.reductions` — Section 3.2: the EXPSPACE/2EXPSPACE tiling
+  reductions and the 2^(2^n) counter family.
+"""
+
+from .core import (
+    PartialRewriting,
+    RewritingResult,
+    ViewSet,
+    exactness_counterexample,
+    find_partial_rewritings,
+    has_nonempty_rewriting,
+    maximal_rewriting,
+    nonempty_rewriting_witness,
+)
+from .regex import parse, to_string
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ViewSet",
+    "maximal_rewriting",
+    "RewritingResult",
+    "exactness_counterexample",
+    "has_nonempty_rewriting",
+    "nonempty_rewriting_witness",
+    "PartialRewriting",
+    "find_partial_rewritings",
+    "parse",
+    "to_string",
+    "__version__",
+]

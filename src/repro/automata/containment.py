@@ -1,0 +1,85 @@
+"""Language containment and equivalence with on-the-fly determinization.
+
+``L(A) subseteq L(B)`` is decided by searching the product of ``A`` with the
+lazily determinized complement of ``B`` — the same "construct the complement
+on-the-fly, keep at most two states in memory" idea the paper uses to obtain
+the 2EXPSPACE upper bound for the exactness test (proof of Theorem 3.2).
+Only the reachable part of the subset space of ``B`` is ever expanded, and
+a counterexample word is produced when the containment fails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Union
+
+from .dfa import DFA
+from .nfa import NFA
+
+__all__ = ["is_contained", "containment_counterexample", "are_equivalent"]
+
+Automaton = Union[NFA, DFA]
+
+
+def _as_free_nfa(automaton: Automaton) -> NFA:
+    nfa = automaton.to_nfa() if isinstance(automaton, DFA) else automaton
+    return nfa.without_epsilon()
+
+
+def is_contained(left: Automaton, right: Automaton) -> bool:
+    """Decide ``L(left) subseteq L(right)``."""
+    return containment_counterexample(left, right) is None
+
+
+def containment_counterexample(
+    left: Automaton, right: Automaton
+) -> tuple[Hashable, ...] | None:
+    """A shortest word in ``L(left) - L(right)``, or ``None`` if contained.
+
+    Runs a breadth-first search over pairs ``(P, S)`` where ``P`` is a set of
+    ``left`` states and ``S`` the determinized-subset of ``right`` states; a
+    pair with ``P`` accepting and ``S`` non-accepting witnesses the word that
+    reached it.
+    """
+    lf = _as_free_nfa(left)
+    rf = _as_free_nfa(right)
+    sigma = lf.alphabet  # words outside left's alphabet are never in L(left)
+    start = (frozenset(lf.initials), frozenset(rf.initials))
+    if _is_counterexample(start, lf, rf):
+        return ()
+    seen: set[tuple[frozenset[int], frozenset[int]]] = {start}
+    queue: deque[
+        tuple[tuple[frozenset[int], frozenset[int]], tuple[Hashable, ...]]
+    ] = deque([(start, ())])
+    while queue:
+        (l_subset, r_subset), word = queue.popleft()
+        for symbol in sigma:
+            l_next: set[int] = set()
+            for state in l_subset:
+                l_next.update(lf.successors(state, symbol))
+            if not l_next:
+                continue  # word prefix already left L(left) forever
+            r_next: set[int] = set()
+            for state in r_subset:
+                r_next.update(rf.successors(state, symbol))
+            pair = (frozenset(l_next), frozenset(r_next))
+            if pair in seen:
+                continue
+            extended = word + (symbol,)
+            if _is_counterexample(pair, lf, rf):
+                return extended
+            seen.add(pair)
+            queue.append((pair, extended))
+    return None
+
+
+def _is_counterexample(
+    pair: tuple[frozenset[int], frozenset[int]], lf: NFA, rf: NFA
+) -> bool:
+    l_subset, r_subset = pair
+    return bool(l_subset & lf.finals) and not (r_subset & rf.finals)
+
+
+def are_equivalent(left: Automaton, right: Automaton) -> bool:
+    """Language equivalence via two containment checks."""
+    return is_contained(left, right) and is_contained(right, left)

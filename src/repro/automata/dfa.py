@@ -1,0 +1,225 @@
+"""Deterministic finite automata.
+
+A :class:`DFA` has a single initial state and at most one successor per
+(state, symbol).  The transition function may be *partial*: missing entries
+denote an implicit dead state.  The paper's constructions need *total*
+(complete) automata at two points — before building ``A'`` (step 2 of the
+rewriting algorithm) and before complementation — which is what
+:meth:`DFA.completed` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .nfa import NFA
+
+__all__ = ["DFA"]
+
+
+class DFA:
+    """A DFA ``(Q, Sigma, delta, s0, F)`` over integer states."""
+
+    __slots__ = ("states", "alphabet", "initial", "finals", "_delta")
+
+    def __init__(
+        self,
+        states: Iterable[int],
+        alphabet: Iterable[Hashable],
+        transitions: Mapping[int, Mapping[Hashable, int]],
+        initial: int,
+        finals: Iterable[int],
+    ):
+        self.states: frozenset[int] = frozenset(states)
+        self.alphabet: frozenset[Hashable] = frozenset(alphabet)
+        self.initial: int = initial
+        self.finals: frozenset[int] = frozenset(finals)
+        self._delta: dict[int, dict[Hashable, int]] = {
+            src: dict(row) for src, row in transitions.items() if row
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError("initial state must be a state")
+        if not self.finals <= self.states:
+            raise ValueError("final states must be a subset of states")
+        for src, row in self._delta.items():
+            if src not in self.states:
+                raise ValueError(f"transition source {src} is not a state")
+            for label, dst in row.items():
+                if label not in self.alphabet:
+                    raise ValueError(f"label {label!r} is not in the alphabet")
+                if dst not in self.states:
+                    raise ValueError(f"transition target {dst} is not a state")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(row) for row in self._delta.values())
+
+    def successor(self, state: int, symbol: Hashable) -> int | None:
+        """The unique successor, or ``None`` for the implicit dead state."""
+        return self._delta.get(state, {}).get(symbol)
+
+    def transitions_from(self, state: int) -> Mapping[Hashable, int]:
+        return self._delta.get(state, {})
+
+    def iter_transitions(self) -> Iterator[tuple[int, Hashable, int]]:
+        for src, row in self._delta.items():
+            for label, dst in row.items():
+                yield (src, label, dst)
+
+    def is_total(self) -> bool:
+        """Is the transition function defined for every (state, symbol)?"""
+        return all(
+            len(self._delta.get(state, {})) == len(self.alphabet)
+            for state in self.states
+        )
+
+    # ------------------------------------------------------------------
+    # Language operations
+    # ------------------------------------------------------------------
+    def run(self, word: Sequence[Hashable]) -> int | None:
+        """State reached after ``word``, or ``None`` if the run dies."""
+        state: int | None = self.initial
+        for symbol in word:
+            if state is None:
+                return None
+            state = self.successor(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        state = self.run(word)
+        return state is not None and state in self.finals
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def completed(self, alphabet: Iterable[Hashable] | None = None) -> "DFA":
+        """Return a total DFA over ``alphabet`` (default: own alphabet).
+
+        Adds a non-final sink state (if required) that absorbs all missing
+        transitions.  The language is unchanged.
+        """
+        sigma = frozenset(alphabet) if alphabet is not None else self.alphabet
+        if not self.alphabet <= sigma:
+            raise ValueError("completion alphabet must contain the DFA alphabet")
+        missing = [
+            (state, symbol)
+            for state in self.states
+            for symbol in sigma
+            if self._delta.get(state, {}).get(symbol) is None
+        ]
+        if not missing:
+            return self if sigma == self.alphabet else DFA(
+                self.states, sigma, self._delta, self.initial, self.finals
+            )
+        sink = max(self.states) + 1
+        transitions = {src: dict(row) for src, row in self._delta.items()}
+        for state, symbol in missing:
+            transitions.setdefault(state, {})[symbol] = sink
+        transitions[sink] = {symbol: sink for symbol in sigma}
+        return DFA(
+            states=self.states | {sink},
+            alphabet=sigma,
+            transitions=transitions,
+            initial=self.initial,
+            finals=self.finals,
+        )
+
+    def complemented(self, alphabet: Iterable[Hashable] | None = None) -> "DFA":
+        """The complement DFA: complete, then swap final and non-final."""
+        total = self.completed(alphabet)
+        return DFA(
+            states=total.states,
+            alphabet=total.alphabet,
+            transitions=total._delta,
+            initial=total.initial,
+            finals=total.states - total.finals,
+        )
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA (no epsilon moves)."""
+        transitions = {
+            src: {label: {dst} for label, dst in row.items()}
+            for src, row in self._delta.items()
+        }
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initials={self.initial},
+            finals=self.finals,
+        )
+
+    def renumbered(self, start: int = 0) -> "DFA":
+        mapping = {old: start + i for i, old in enumerate(sorted(self.states))}
+        transitions = {
+            mapping[src]: {label: mapping[dst] for label, dst in row.items()}
+            for src, row in self._delta.items()
+        }
+        return DFA(
+            states={mapping[s] for s in self.states},
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=mapping[self.initial],
+            finals={mapping[s] for s in self.finals},
+        )
+
+    def reachable_states(self) -> set[int]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for dst in self._delta.get(state, {}).values():
+                if dst not in seen:
+                    seen.add(dst)
+                    frontier.append(dst)
+        return seen
+
+    def trimmed(self) -> "DFA":
+        """Keep accessible, co-accessible states (may become partial)."""
+        forward = self.reachable_states()
+        pred: dict[int, set[int]] = {}
+        for src, _label, dst in self.iter_transitions():
+            pred.setdefault(dst, set()).add(src)
+        backward = set(self.finals)
+        frontier = list(backward)
+        while frontier:
+            state = frontier.pop()
+            for nxt in pred.get(state, set()):
+                if nxt not in backward:
+                    backward.add(nxt)
+                    frontier.append(nxt)
+        useful = forward & backward
+        if self.initial not in useful:
+            # Empty language: single non-final initial state.
+            return DFA({0}, self.alphabet, {}, 0, set())
+        transitions = {
+            src: {
+                label: dst for label, dst in row.items() if dst in useful
+            }
+            for src, row in self._delta.items()
+            if src in useful
+        }
+        return DFA(
+            states=useful,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=self.initial,
+            finals=self.finals & useful,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={self.num_states}, transitions={self.num_transitions}, "
+            f"initial={self.initial}, finals={sorted(self.finals)})"
+        )

@@ -1,0 +1,137 @@
+"""Language emptiness, shortest witnesses and bounded enumeration.
+
+Non-emptiness of a finite automaton is graph reachability (NLOGSPACE, cited
+by the paper as [RS59, Jon75]); breadth-first search additionally yields a
+*shortest* accepted word, which the tests and examples use as witnesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterator, Sequence, Union
+
+from .dfa import DFA
+from .nfa import EPS, NFA
+
+__all__ = [
+    "is_empty",
+    "shortest_word",
+    "enumerate_words",
+    "is_universal",
+    "accepts",
+]
+
+Automaton = Union[NFA, DFA]
+
+
+def _as_nfa(automaton: Automaton) -> NFA:
+    return automaton.to_nfa() if isinstance(automaton, DFA) else automaton
+
+
+def accepts(automaton: Automaton, word: Sequence[Hashable]) -> bool:
+    """Uniform word-membership helper for NFAs and DFAs."""
+    return automaton.accepts(word)
+
+
+def is_empty(automaton: Automaton) -> bool:
+    """Is ``L(automaton)`` empty?"""
+    return shortest_word(automaton) is None
+
+
+def shortest_word(automaton: Automaton) -> tuple[Hashable, ...] | None:
+    """A shortest accepted word, or ``None`` if the language is empty.
+
+    Ties between equal-length words are broken by the (arbitrary but fixed)
+    iteration order of the transition tables.
+    """
+    nfa = _as_nfa(automaton)
+    start = nfa.epsilon_closure(nfa.initials)
+    if start & nfa.finals:
+        return ()
+    seen: set[frozenset[int]] = {start}
+    queue: deque[tuple[frozenset[int], tuple[Hashable, ...]]] = deque([(start, ())])
+    while queue:
+        subset, word = queue.popleft()
+        moves: dict[Hashable, set[int]] = {}
+        for state in subset:
+            for label, dsts in nfa.transitions_from(state).items():
+                if label is EPS:
+                    continue
+                moves.setdefault(label, set()).update(dsts)
+        for label, dsts in moves.items():
+            closed = nfa.epsilon_closure(dsts)
+            if not closed or closed in seen:
+                continue
+            extended = word + (label,)
+            if closed & nfa.finals:
+                return extended
+            seen.add(closed)
+            queue.append((closed, extended))
+    return None
+
+
+def enumerate_words(
+    automaton: Automaton,
+    max_length: int,
+    max_count: int | None = None,
+) -> Iterator[tuple[Hashable, ...]]:
+    """Yield accepted words in order of increasing length.
+
+    Enumeration stops after ``max_length`` (inclusive) or after ``max_count``
+    words.  Within a length, the order follows a deterministic sort of the
+    symbols' ``repr`` so runs are reproducible.
+    """
+    nfa = _as_nfa(automaton)
+    symbols = sorted(nfa.alphabet, key=repr)
+    emitted = 0
+    start = nfa.epsilon_closure(nfa.initials)
+    level: list[tuple[frozenset[int], tuple[Hashable, ...]]] = [(start, ())]
+    for length in range(max_length + 1):
+        for subset, word in level:
+            if subset & nfa.finals:
+                yield word
+                emitted += 1
+                if max_count is not None and emitted >= max_count:
+                    return
+        if length == max_length:
+            break
+        next_level: list[tuple[frozenset[int], tuple[Hashable, ...]]] = []
+        for subset, word in level:
+            for symbol in symbols:
+                moved: set[int] = set()
+                for state in subset:
+                    moved.update(nfa.successors(state, symbol))
+                closed = nfa.epsilon_closure(moved)
+                if closed:
+                    next_level.append((closed, word + (symbol,)))
+        level = next_level
+        if not level:
+            break
+
+
+def is_universal(automaton: Automaton, alphabet: frozenset | None = None) -> bool:
+    """Does the automaton accept all of ``Sigma*``?
+
+    Decided by checking the complement for emptiness with a lazy subset
+    construction (no full determinization).
+    """
+    nfa = _as_nfa(automaton).without_epsilon()
+    sigma = alphabet if alphabet is not None else nfa.alphabet
+    start = frozenset(nfa.initials)
+    if not start & nfa.finals:
+        return False
+    seen: set[frozenset[int]] = {start}
+    queue: deque[frozenset[int]] = deque([start])
+    while queue:
+        subset = queue.popleft()
+        for symbol in sigma:
+            moved: set[int] = set()
+            for state in subset:
+                moved.update(nfa.successors(state, symbol))
+            target = frozenset(moved)
+            if not target & nfa.finals:
+                return False
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return True

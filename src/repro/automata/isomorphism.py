@@ -1,0 +1,88 @@
+"""DFA isomorphism and canonical forms.
+
+Minimal DFAs for the same language are unique up to renaming of states
+(Myhill–Nerode), so isomorphism of minimized automata is a structural
+equivalence check — stronger evidence than language equivalence when
+testing the rewriting pipeline's determinism, and the basis of
+:func:`canonical_form`, a renumbering by breadth-first discovery order
+that makes equal-language minimal DFAs *equal* as data structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from .dfa import DFA
+
+__all__ = ["are_isomorphic", "canonical_form"]
+
+
+def canonical_form(dfa: DFA) -> DFA:
+    """Renumber states by BFS discovery order (symbols sorted by repr).
+
+    Two isomorphic DFAs whose transition functions are total on the same
+    alphabet produce identical canonical forms; minimal DFAs of the same
+    language therefore compare equal after ``canonical_form(minimize(.))``.
+    Unreachable states are dropped (they cannot affect the language).
+    """
+    symbols = sorted(dfa.alphabet, key=repr)
+    order: dict[int, int] = {dfa.initial: 0}
+    queue: deque[int] = deque([dfa.initial])
+    while queue:
+        state = queue.popleft()
+        for symbol in symbols:
+            successor = dfa.successor(state, symbol)
+            if successor is not None and successor not in order:
+                order[successor] = len(order)
+                queue.append(successor)
+    transitions: dict[int, dict[Hashable, int]] = {}
+    for state, index in order.items():
+        row = {
+            symbol: order[dst]
+            for symbol, dst in dfa.transitions_from(state).items()
+            if dst in order
+        }
+        if row:
+            transitions[index] = row
+    return DFA(
+        states=range(len(order)),
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        initial=0,
+        finals={order[s] for s in dfa.finals if s in order},
+    )
+
+
+def are_isomorphic(left: DFA, right: DFA) -> bool:
+    """Are the two DFAs identical up to a renaming of (reachable) states?
+
+    Decided by simultaneous BFS building the unique candidate bijection;
+    fails fast on any mismatch of acceptance, alphabet, or out-edges.
+    """
+    if left.alphabet != right.alphabet:
+        return False
+    mapping: dict[int, int] = {left.initial: right.initial}
+    queue: deque[int] = deque([left.initial])
+    seen_right = {right.initial}
+    while queue:
+        l_state = queue.popleft()
+        r_state = mapping[l_state]
+        if (l_state in left.finals) != (r_state in right.finals):
+            return False
+        l_row = left.transitions_from(l_state)
+        r_row = right.transitions_from(r_state)
+        if set(l_row.keys()) != set(r_row.keys()):
+            return False
+        for symbol, l_next in l_row.items():
+            r_next = r_row[symbol]
+            if l_next in mapping:
+                if mapping[l_next] != r_next:
+                    return False
+            else:
+                if r_next in seen_right:
+                    return False  # not injective
+                mapping[l_next] = r_next
+                seen_right.add(r_next)
+                queue.append(l_next)
+    return True

@@ -1,0 +1,324 @@
+"""Nondeterministic finite automata with epsilon moves.
+
+States are integers; the alphabet is a set of arbitrary hashable symbols.
+Epsilon transitions are labelled with the module-level sentinel :data:`EPS`.
+
+An :class:`NFA` is immutable after construction (its transition table is
+deep-frozen), so instances can be shared freely between the rewriting
+pipeline's stages.  Use :class:`NFABuilder` for incremental construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["EPS", "NFA", "NFABuilder"]
+
+
+class _EpsilonLabel:
+    """Singleton label for epsilon transitions."""
+
+    _instance: "_EpsilonLabel | None" = None
+
+    def __new__(cls) -> "_EpsilonLabel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EPS"
+
+    def __reduce__(self):
+        return (_EpsilonLabel, ())
+
+
+EPS = _EpsilonLabel()
+
+
+class NFA:
+    """An epsilon-NFA ``(Q, Sigma, delta, I, F)`` over integer states."""
+
+    __slots__ = ("states", "alphabet", "initials", "finals", "_delta")
+
+    def __init__(
+        self,
+        states: Iterable[int],
+        alphabet: Iterable[Hashable],
+        transitions: Mapping[int, Mapping[Hashable, Iterable[int]]],
+        initials: Iterable[int],
+        finals: Iterable[int],
+    ):
+        self.states: frozenset[int] = frozenset(states)
+        self.alphabet: frozenset[Hashable] = frozenset(alphabet)
+        self.initials: frozenset[int] = frozenset(initials)
+        self.finals: frozenset[int] = frozenset(finals)
+        delta: dict[int, dict[Hashable, frozenset[int]]] = {}
+        for src, row in transitions.items():
+            frozen_row = {
+                label: frozenset(dsts) for label, dsts in row.items() if dsts
+            }
+            if frozen_row:
+                delta[src] = frozen_row
+        self._delta = delta
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.initials <= self.states:
+            raise ValueError("initial states must be a subset of states")
+        if not self.finals <= self.states:
+            raise ValueError("final states must be a subset of states")
+        for src, row in self._delta.items():
+            if src not in self.states:
+                raise ValueError(f"transition source {src} is not a state")
+            for label, dsts in row.items():
+                if label is not EPS and label not in self.alphabet:
+                    raise ValueError(f"label {label!r} is not in the alphabet")
+                if not dsts <= self.states:
+                    raise ValueError(f"transition targets {dsts} are not states")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(dsts) for row in self._delta.values() for dsts in row.values())
+
+    def successors(self, state: int, label: Hashable) -> frozenset[int]:
+        """Targets of ``label``-transitions out of ``state`` (no closure)."""
+        return self._delta.get(state, {}).get(label, frozenset())
+
+    def transitions_from(self, state: int) -> Mapping[Hashable, frozenset[int]]:
+        """The full transition row of ``state`` (labels include ``EPS``)."""
+        return self._delta.get(state, {})
+
+    def iter_transitions(self) -> Iterator[tuple[int, Hashable, int]]:
+        """Yield all transitions as ``(source, label, target)`` triples."""
+        for src, row in self._delta.items():
+            for label, dsts in row.items():
+                for dst in dsts:
+                    yield (src, label, dst)
+
+    def has_epsilon_moves(self) -> bool:
+        return any(EPS in row for row in self._delta.values())
+
+    # ------------------------------------------------------------------
+    # Language operations
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.successors(state, EPS):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[int], symbol: Hashable) -> frozenset[int]:
+        """One symbol step including epsilon closure on both sides."""
+        closed = self.epsilon_closure(states)
+        moved: set[int] = set()
+        for state in closed:
+            moved.update(self.successors(state, symbol))
+        return self.epsilon_closure(moved)
+
+    def run(self, word: Sequence[Hashable]) -> frozenset[int]:
+        """The set of states reached after reading ``word``."""
+        current = self.epsilon_closure(self.initials)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return frozenset()
+        return current
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        """Word membership: does the automaton accept ``word``?"""
+        return bool(self.run(word) & self.finals)
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def renumbered(self, start: int = 0) -> "NFA":
+        """Return an isomorphic NFA with states renumbered ``start..``."""
+        mapping = {old: start + i for i, old in enumerate(sorted(self.states))}
+        return self.relabeled_states(mapping)
+
+    def relabeled_states(self, mapping: Mapping[int, int]) -> "NFA":
+        """Return a copy with states renamed according to ``mapping``."""
+        transitions = {
+            mapping[src]: {
+                label: {mapping[dst] for dst in dsts} for label, dsts in row.items()
+            }
+            for src, row in self._delta.items()
+        }
+        return NFA(
+            states={mapping[s] for s in self.states},
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initials={mapping[s] for s in self.initials},
+            finals={mapping[s] for s in self.finals},
+        )
+
+    def with_alphabet(self, alphabet: Iterable[Hashable]) -> "NFA":
+        """Return a copy over a (super-)alphabet; language is unchanged."""
+        new_alphabet = frozenset(alphabet)
+        used = {
+            label
+            for row in self._delta.values()
+            for label in row
+            if label is not EPS
+        }
+        if not used <= new_alphabet:
+            raise ValueError("new alphabet must contain all used labels")
+        return NFA(self.states, new_alphabet, self._delta, self.initials, self.finals)
+
+    def reversed(self) -> "NFA":
+        """The automaton for the reversed language."""
+        transitions: dict[int, dict[Hashable, set[int]]] = {}
+        for src, label, dst in self.iter_transitions():
+            transitions.setdefault(dst, {}).setdefault(label, set()).add(src)
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initials=self.finals,
+            finals=self.initials,
+        )
+
+    def trimmed(self) -> "NFA":
+        """Restrict to states that are both accessible and co-accessible.
+
+        The result accepts the same language; if no useful state remains a
+        single-state automaton with no transitions (empty language) results.
+        """
+        forward = self._reachable(self.initials, reverse=False)
+        backward = self._reachable(self.finals, reverse=True)
+        useful = forward & backward
+        if not useful:
+            return NFA({0}, self.alphabet, {}, {0}, set())
+        transitions = {
+            src: {
+                label: dsts & useful
+                for label, dsts in row.items()
+                if dsts & useful
+            }
+            for src, row in self._delta.items()
+            if src in useful
+        }
+        return NFA(
+            states=useful,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initials=self.initials & useful,
+            finals=self.finals & useful,
+        )
+
+    def _reachable(self, seeds: Iterable[int], reverse: bool) -> set[int]:
+        if reverse:
+            pred: dict[int, set[int]] = {}
+            for src, _label, dst in self.iter_transitions():
+                pred.setdefault(dst, set()).add(src)
+            neighbors = lambda s: pred.get(s, set())
+        else:
+            neighbors = lambda s: {
+                dst for dsts in self._delta.get(s, {}).values() for dst in dsts
+            }
+        seen = set(seeds)
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            for nxt in neighbors(state):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def without_epsilon(self) -> "NFA":
+        """An equivalent epsilon-free NFA (closure-based elimination)."""
+        transitions: dict[int, dict[Hashable, set[int]]] = {}
+        finals = set(self.finals)
+        for state in self.states:
+            closure = self.epsilon_closure([state])
+            if closure & self.finals:
+                finals.add(state)
+            row: dict[Hashable, set[int]] = {}
+            for closed_state in closure:
+                for label, dsts in self._delta.get(closed_state, {}).items():
+                    if label is EPS:
+                        continue
+                    row.setdefault(label, set()).update(
+                        self.epsilon_closure(dsts)
+                    )
+            if row:
+                transitions[state] = row
+        return NFA(self.states, self.alphabet, transitions, self.initials, finals)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={self.num_states}, transitions={self.num_transitions}, "
+            f"initials={sorted(self.initials)}, finals={sorted(self.finals)})"
+        )
+
+
+class NFABuilder:
+    """Incremental builder for :class:`NFA` instances."""
+
+    def __init__(self, alphabet: Iterable[Hashable] = ()):
+        self._alphabet: set[Hashable] = set(alphabet)
+        self._transitions: dict[int, dict[Hashable, set[int]]] = {}
+        self._initials: set[int] = set()
+        self._finals: set[int] = set()
+        self._next_state = 0
+        self._states: set[int] = set()
+
+    def add_state(self) -> int:
+        """Allocate and return a fresh state id."""
+        state = self._next_state
+        self._next_state += 1
+        self._states.add(state)
+        return state
+
+    def add_states(self, count: int) -> list[int]:
+        return [self.add_state() for _ in range(count)]
+
+    def ensure_state(self, state: int) -> int:
+        """Register an externally chosen state id."""
+        self._states.add(state)
+        self._next_state = max(self._next_state, state + 1)
+        return state
+
+    def add_transition(self, src: int, label: Hashable, dst: int) -> None:
+        self.ensure_state(src)
+        self.ensure_state(dst)
+        if label is not EPS:
+            self._alphabet.add(label)
+        self._transitions.setdefault(src, {}).setdefault(label, set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.add_transition(src, EPS, dst)
+
+    def set_initial(self, state: int) -> None:
+        self.ensure_state(state)
+        self._initials.add(state)
+
+    def set_final(self, state: int) -> None:
+        self.ensure_state(state)
+        self._finals.add(state)
+
+    def add_alphabet(self, symbols: Iterable[Hashable]) -> None:
+        self._alphabet.update(symbols)
+
+    def build(self) -> NFA:
+        return NFA(
+            states=self._states,
+            alphabet=self._alphabet,
+            transitions=self._transitions,
+            initials=self._initials,
+            finals=self._finals,
+        )

@@ -1,0 +1,257 @@
+"""Boolean and rational operations on automata.
+
+Provides the closure operations the paper's constructions rely on:
+
+* products of DFAs (intersection / union / difference / symmetric
+  difference) via the pairing construction;
+* intersection of NFAs without determinization (used by step 2 of the
+  rewriting algorithm to decide whether some word of a view language drives
+  ``Ad`` between two given states);
+* union / concatenation / star of NFAs in Thompson style;
+* complement of an arbitrary automaton (determinize, complete, swap);
+* reachable-pair analysis ``view_transition_relation`` — the workhorse that
+  turns a view language into edges of the automaton ``A'``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable
+
+from .determinize import determinize
+from .dfa import DFA
+from .nfa import EPS, NFA, NFABuilder
+
+__all__ = [
+    "product_dfa",
+    "intersect_dfa",
+    "union_dfa",
+    "difference_dfa",
+    "intersect_nfa",
+    "union_nfa",
+    "concat_nfa",
+    "star_nfa",
+    "complement",
+    "view_transition_relation",
+]
+
+
+def product_dfa(left: DFA, right: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
+    """The product DFA with acceptance decided by ``accept(in_L, in_R)``.
+
+    Both operands are completed over the union of their alphabets first, so
+    any boolean combination (including complement-sensitive ones such as
+    difference) is correct.
+    """
+    sigma = left.alphabet | right.alphabet
+    lt = left.completed(sigma)
+    rt = right.completed(sigma)
+    pair_ids: dict[tuple[int, int], int] = {(lt.initial, rt.initial): 0}
+    transitions: dict[int, dict[Hashable, int]] = {}
+    finals: set[int] = set()
+    queue: deque[tuple[int, int]] = deque([(lt.initial, rt.initial)])
+    while queue:
+        pair = queue.popleft()
+        state_id = pair_ids[pair]
+        l_state, r_state = pair
+        if accept(l_state in lt.finals, r_state in rt.finals):
+            finals.add(state_id)
+        row: dict[Hashable, int] = {}
+        for symbol in sigma:
+            successor = (lt.successor(l_state, symbol), rt.successor(r_state, symbol))
+            if successor not in pair_ids:
+                pair_ids[successor] = len(pair_ids)
+                queue.append(successor)
+            row[symbol] = pair_ids[successor]
+        if row:
+            transitions[state_id] = row
+    return DFA(
+        states=range(len(pair_ids)),
+        alphabet=sigma,
+        transitions=transitions,
+        initial=0,
+        finals=finals,
+    )
+
+
+def intersect_dfa(left: DFA, right: DFA) -> DFA:
+    return product_dfa(left, right, lambda a, b: a and b)
+
+
+def union_dfa(left: DFA, right: DFA) -> DFA:
+    return product_dfa(left, right, lambda a, b: a or b)
+
+
+def difference_dfa(left: DFA, right: DFA) -> DFA:
+    return product_dfa(left, right, lambda a, b: a and not b)
+
+
+def intersect_nfa(left: NFA, right: NFA) -> NFA:
+    """Product NFA for the intersection (inputs made epsilon-free first)."""
+    lf = left.without_epsilon()
+    rf = right.without_epsilon()
+    sigma = lf.alphabet | rf.alphabet
+    pair_ids: dict[tuple[int, int], int] = {}
+    builder = NFABuilder(sigma)
+
+    def state_of(pair: tuple[int, int]) -> int:
+        if pair not in pair_ids:
+            pair_ids[pair] = builder.add_state()
+        return pair_ids[pair]
+
+    queue: deque[tuple[int, int]] = deque()
+    for li in lf.initials:
+        for ri in rf.initials:
+            pair = (li, ri)
+            builder.set_initial(state_of(pair))
+            queue.append(pair)
+    visited: set[tuple[int, int]] = set(queue)
+    while queue:
+        pair = queue.popleft()
+        l_state, r_state = pair
+        src = state_of(pair)
+        if l_state in lf.finals and r_state in rf.finals:
+            builder.set_final(src)
+        l_row = lf.transitions_from(l_state)
+        r_row = rf.transitions_from(r_state)
+        for symbol in l_row.keys() & r_row.keys():
+            for l_dst in l_row[symbol]:
+                for r_dst in r_row[symbol]:
+                    successor = (l_dst, r_dst)
+                    builder.add_transition(src, symbol, state_of(successor))
+                    if successor not in visited:
+                        visited.add(successor)
+                        queue.append(successor)
+    if not pair_ids:
+        # No joint initial state: empty language.
+        lone = builder.add_state()
+        builder.set_initial(lone)
+    return builder.build()
+
+
+def union_nfa(automata: Iterable[NFA]) -> NFA:
+    """Disjoint union of NFAs (accepts the union of the languages)."""
+    builder = NFABuilder()
+    for nfa in automata:
+        offset_map = _copy_into(builder, nfa)
+        for initial in nfa.initials:
+            builder.set_initial(offset_map[initial])
+        for final in nfa.finals:
+            builder.set_final(offset_map[final])
+    return builder.build()
+
+
+def concat_nfa(automata: Iterable[NFA]) -> NFA:
+    """Concatenation of NFAs in the given order."""
+    parts = list(automata)
+    if not parts:
+        builder = NFABuilder()
+        only = builder.add_state()
+        builder.set_initial(only)
+        builder.set_final(only)
+        return builder.build()
+    builder = NFABuilder()
+    previous_finals: list[int] | None = None
+    for nfa in parts:
+        offset_map = _copy_into(builder, nfa)
+        if previous_finals is None:
+            for initial in nfa.initials:
+                builder.set_initial(offset_map[initial])
+        else:
+            for final in previous_finals:
+                for initial in nfa.initials:
+                    builder.add_epsilon(final, offset_map[initial])
+        previous_finals = [offset_map[f] for f in nfa.finals]
+    for final in previous_finals or []:
+        builder.set_final(final)
+    return builder.build()
+
+
+def star_nfa(nfa: NFA) -> NFA:
+    """Kleene closure of an NFA."""
+    builder = NFABuilder(nfa.alphabet)
+    hub = builder.add_state()
+    builder.set_initial(hub)
+    builder.set_final(hub)
+    offset_map = _copy_into(builder, nfa)
+    for initial in nfa.initials:
+        builder.add_epsilon(hub, offset_map[initial])
+    for final in nfa.finals:
+        builder.add_epsilon(offset_map[final], hub)
+    return builder.build()
+
+
+def complement(
+    automaton: NFA | DFA, alphabet: Iterable[Hashable] | None = None
+) -> DFA:
+    """Complement over ``alphabet`` (default: the automaton's own).
+
+    NFAs are determinized first, then completed and acceptance-swapped —
+    the paper's step 3 (and the second exponential of Theorem 3.1).  DFAs
+    skip the determinization.
+    """
+    sigma = frozenset(alphabet) if alphabet is not None else automaton.alphabet
+    dfa = automaton if isinstance(automaton, DFA) else determinize(automaton)
+    return dfa.complemented(sigma)
+
+
+def _copy_into(builder: NFABuilder, nfa: NFA) -> dict[int, int]:
+    """Copy ``nfa``'s states/transitions into ``builder`` with fresh ids."""
+    builder.add_alphabet(nfa.alphabet)
+    mapping = {state: builder.add_state() for state in sorted(nfa.states)}
+    for src, label, dst in nfa.iter_transitions():
+        if label is EPS:
+            builder.add_epsilon(mapping[src], mapping[dst])
+        else:
+            builder.add_transition(mapping[src], label, mapping[dst])
+    return mapping
+
+
+def view_transition_relation(dfa: DFA, view: NFA) -> dict[int, set[int]]:
+    """For each DFA state ``s_i``, the states ``s_j`` reachable by a view word.
+
+    Returns ``{s_i: {s_j | exists w in L(view): dfa runs s_i -> s_j on w}}``.
+    This realizes step 2 of the paper's rewriting construction: the relation
+    gives exactly the ``e``-labelled edges of ``A'`` for the view ``e``.  The
+    paper describes it as a non-emptiness test of the product of
+    ``A_d^{i,j}`` with the view automaton for every pair ``(i, j)``; a single
+    breadth-first search of the product per source state ``s_i`` computes the
+    whole row at once, which is equivalent and a factor ``|S|`` cheaper.
+
+    ``dfa`` must be total (complete it first) so that no view word "falls
+    off" the automaton: with a partial DFA, words leading to the implicit
+    dead state would be silently dropped and the resulting rewriting would
+    not be maximal-with-respect-to rejection (the dead state is where bad
+    expansions must land).
+    """
+    if not dfa.is_total():
+        raise ValueError("view_transition_relation requires a total DFA")
+    view_free = view.without_epsilon()
+    relation: dict[int, set[int]] = {}
+    start_subset = frozenset(view_free.initials)
+    for source in dfa.states:
+        targets: set[int] = set()
+        if start_subset & view_free.finals:
+            # The empty word is in the view language: s_i -> s_i.
+            targets.add(source)
+        seen: set[tuple[int, int]] = set()
+        queue: deque[tuple[int, int]] = deque(
+            (source, q) for q in view_free.initials
+        )
+        seen.update(queue)
+        while queue:
+            d_state, v_state = queue.popleft()
+            for symbol, v_dsts in view_free.transitions_from(v_state).items():
+                d_next = dfa.successor(d_state, symbol)
+                if d_next is None:
+                    continue  # symbol outside the DFA alphabet
+                for v_next in v_dsts:
+                    pair = (d_next, v_next)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    if v_next in view_free.finals:
+                        targets.add(d_next)
+                    queue.append(pair)
+        relation[source] = targets
+    return relation

@@ -1,0 +1,70 @@
+"""Random automata for tests and scaling benchmarks (seeded, reproducible)."""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from .dfa import DFA
+from .nfa import NFA
+
+__all__ = ["random_nfa", "random_dfa"]
+
+
+def random_nfa(
+    rng: random.Random,
+    num_states: int,
+    alphabet: Sequence[Hashable],
+    transition_density: float = 0.2,
+    final_fraction: float = 0.3,
+) -> NFA:
+    """A random NFA with ``num_states`` states over ``alphabet``.
+
+    ``transition_density`` is the probability that a given (state, symbol,
+    state) triple is a transition; ``final_fraction`` the expected fraction
+    of final states (always at least one when possible).
+    """
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    states = list(range(num_states))
+    transitions: dict[int, dict[Hashable, set[int]]] = {}
+    for src in states:
+        for symbol in alphabet:
+            targets = {dst for dst in states if rng.random() < transition_density}
+            if targets:
+                transitions.setdefault(src, {})[symbol] = targets
+    finals = {s for s in states if rng.random() < final_fraction}
+    if not finals:
+        finals = {rng.choice(states)}
+    return NFA(
+        states=states,
+        alphabet=alphabet,
+        transitions=transitions,
+        initials={0},
+        finals=finals,
+    )
+
+
+def random_dfa(
+    rng: random.Random,
+    num_states: int,
+    alphabet: Sequence[Hashable],
+    final_fraction: float = 0.3,
+) -> DFA:
+    """A random *total* DFA with ``num_states`` states over ``alphabet``."""
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    states = list(range(num_states))
+    transitions = {
+        src: {symbol: rng.choice(states) for symbol in alphabet} for src in states
+    }
+    finals = {s for s in states if rng.random() < final_fraction}
+    if not finals:
+        finals = {rng.choice(states)}
+    return DFA(
+        states=states,
+        alphabet=alphabet,
+        transitions=transitions,
+        initial=0,
+        finals=finals,
+    )

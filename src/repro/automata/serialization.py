@@ -1,0 +1,125 @@
+"""Serialization of automata: plain dicts (JSON-friendly) and Graphviz DOT.
+
+Dict serialization restricts symbols to strings (the common case for the
+paper's alphabets); DOT export accepts any symbols and is used by the
+examples to render constructions like Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from .dfa import DFA
+from .nfa import EPS, NFA
+
+__all__ = ["nfa_to_dict", "nfa_from_dict", "dfa_to_dict", "dfa_from_dict", "to_dot"]
+
+Automaton = Union[NFA, DFA]
+
+_EPS_KEY = "@EPS@"  # reserved marker for epsilon in dict form
+
+
+def nfa_to_dict(nfa: NFA) -> dict[str, Any]:
+    """Serialize an NFA whose symbols are all strings."""
+    _check_string_alphabet(nfa.alphabet)
+    transitions: list[list[Any]] = []
+    for src, label, dst in sorted(
+        nfa.iter_transitions(), key=lambda t: (t[0], repr(t[1]), t[2])
+    ):
+        transitions.append([src, _EPS_KEY if label is EPS else label, dst])
+    return {
+        "kind": "nfa",
+        "states": sorted(nfa.states),
+        "alphabet": sorted(nfa.alphabet),
+        "transitions": transitions,
+        "initials": sorted(nfa.initials),
+        "finals": sorted(nfa.finals),
+    }
+
+
+def nfa_from_dict(data: dict[str, Any]) -> NFA:
+    if data.get("kind") != "nfa":
+        raise ValueError(f"not an NFA payload: kind={data.get('kind')!r}")
+    transitions: dict[int, dict[Any, set[int]]] = {}
+    for src, label, dst in data["transitions"]:
+        key = EPS if label == _EPS_KEY else label
+        transitions.setdefault(src, {}).setdefault(key, set()).add(dst)
+    return NFA(
+        states=data["states"],
+        alphabet=data["alphabet"],
+        transitions=transitions,
+        initials=data["initials"],
+        finals=data["finals"],
+    )
+
+
+def dfa_to_dict(dfa: DFA) -> dict[str, Any]:
+    """Serialize a DFA whose symbols are all strings."""
+    _check_string_alphabet(dfa.alphabet)
+    transitions = [
+        [src, label, dst]
+        for src, label, dst in sorted(
+            dfa.iter_transitions(), key=lambda t: (t[0], repr(t[1]), t[2])
+        )
+    ]
+    return {
+        "kind": "dfa",
+        "states": sorted(dfa.states),
+        "alphabet": sorted(dfa.alphabet),
+        "transitions": transitions,
+        "initial": dfa.initial,
+        "finals": sorted(dfa.finals),
+    }
+
+
+def dfa_from_dict(data: dict[str, Any]) -> DFA:
+    if data.get("kind") != "dfa":
+        raise ValueError(f"not a DFA payload: kind={data.get('kind')!r}")
+    transitions: dict[int, dict[Any, int]] = {}
+    for src, label, dst in data["transitions"]:
+        transitions.setdefault(src, {})[label] = dst
+    return DFA(
+        states=data["states"],
+        alphabet=data["alphabet"],
+        transitions=transitions,
+        initial=data["initial"],
+        finals=data["finals"],
+    )
+
+
+def to_dot(automaton: Automaton, name: str = "automaton") -> str:
+    """Render the automaton in Graphviz DOT format."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  hidden [shape=point, label=""];']
+    if isinstance(automaton, DFA):
+        initials = {automaton.initial}
+        finals = automaton.finals
+        triples = list(automaton.iter_transitions())
+    else:
+        initials = set(automaton.initials)
+        finals = automaton.finals
+        triples = list(automaton.iter_transitions())
+    for state in sorted(
+        automaton.states if isinstance(automaton, NFA) else automaton.states
+    ):
+        shape = "doublecircle" if state in finals else "circle"
+        lines.append(f"  s{state} [shape={shape}, label=\"{state}\"];")
+    for state in sorted(initials):
+        lines.append(f"  hidden -> s{state};")
+    merged: dict[tuple[int, int], list[str]] = {}
+    for src, label, dst in triples:
+        text = "ε" if label is EPS else str(label)
+        merged.setdefault((src, dst), []).append(text)
+    for (src, dst), labels in sorted(merged.items()):
+        label_text = ", ".join(sorted(labels))
+        lines.append(f'  s{src} -> s{dst} [label="{label_text}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _check_string_alphabet(alphabet: frozenset) -> None:
+    non_string = [a for a in alphabet if not isinstance(a, str)]
+    if non_string:
+        raise TypeError(
+            "dict serialization needs string symbols; offending symbols: "
+            f"{non_string[:3]!r}"
+        )

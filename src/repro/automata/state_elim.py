@@ -1,0 +1,81 @@
+"""State elimination: converting automata back to regular expressions.
+
+The rewriting algorithm returns an automaton ``R_{E,E0}`` over the view
+alphabet Sigma_E; to present rewritings in the paper's notation (e.g.
+``e2*.e1.e3*`` in Example 2.3) the automaton is converted to a regular
+expression with the classic generalized-NFA elimination procedure, removing
+states one at a time and composing the surrounding expressions.
+
+States are eliminated cheapest-first (fewest in*out edge pairs), and the
+result is run through :func:`repro.regex.simplify.simplify`, which keeps the
+output close to what one would write by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..regex.ast import EMPTY, EPSILON, Regex, concat, star, sym, union
+from ..regex.simplify import simplify
+from .dfa import DFA
+from .nfa import EPS, NFA
+
+__all__ = ["to_regex"]
+
+Automaton = Union[NFA, DFA]
+
+
+def to_regex(automaton: Automaton, simplify_result: bool = True) -> Regex:
+    """Convert an automaton to an equivalent regular expression."""
+    nfa = automaton.to_nfa() if isinstance(automaton, DFA) else automaton
+    nfa = nfa.trimmed()
+    # Generalized NFA: expression-labelled edge matrix plus fresh init/final.
+    init, fini = -1, -2
+    edges: dict[tuple[int, int], Regex] = {}
+
+    def add_edge(src: int, dst: int, expr: Regex) -> None:
+        if expr.is_empty_set():
+            return
+        key = (src, dst)
+        edges[key] = union(edges[key], expr) if key in edges else expr
+
+    for state in nfa.initials:
+        add_edge(init, state, EPSILON)
+    for state in nfa.finals:
+        add_edge(state, fini, EPSILON)
+    for src, label, dst in nfa.iter_transitions():
+        add_edge(src, dst, EPSILON if label is EPS else sym(label))
+
+    remaining = set(nfa.states)
+    while remaining:
+        state = _cheapest(remaining, edges)
+        remaining.discard(state)
+        _eliminate(state, edges)
+
+    result = edges.get((init, fini), EMPTY)
+    return simplify(result) if simplify_result else result
+
+
+def _cheapest(remaining: set[int], edges: dict[tuple[int, int], Regex]) -> int:
+    """Pick the state whose elimination creates the fewest new edges."""
+    def cost(state: int) -> tuple[int, int]:
+        preds = sum(1 for (s, d) in edges if d == state and s != state)
+        succs = sum(1 for (s, d) in edges if s == state and d != state)
+        return (preds * succs, state)
+
+    return min(remaining, key=cost)
+
+
+def _eliminate(state: int, edges: dict[tuple[int, int], Regex]) -> None:
+    """Remove ``state`` from the GNFA, rerouting paths through it."""
+    loop = edges.pop((state, state), None)
+    loop_star = star(loop) if loop is not None else EPSILON
+    incoming = [(s, e) for (s, d), e in edges.items() if d == state]
+    outgoing = [(d, e) for (s, d), e in edges.items() if s == state]
+    for key in [k for k in edges if state in k]:
+        del edges[key]
+    for src, in_expr in incoming:
+        for dst, out_expr in outgoing:
+            bridged = concat(in_expr, loop_star, out_expr)
+            key = (src, dst)
+            edges[key] = union(edges[key], bridged) if key in edges else bridged

@@ -1,0 +1,93 @@
+"""Thompson's construction: regular expressions to epsilon-NFAs.
+
+The construction yields, for every regular expression, an NFA with a unique
+initial state without incoming edges and a unique final state without
+outgoing edges — exactly the normal form the paper assumes when splicing view
+automata into the rewriting to build the expansion automaton ``B``
+(Section 2, exactness check, step 1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..regex.ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+from .nfa import EPS, NFA, NFABuilder
+
+__all__ = ["to_nfa", "word_nfa", "universal_nfa"]
+
+
+def to_nfa(expr: Regex, alphabet: Iterable[Hashable] | None = None) -> NFA:
+    """Compile ``expr`` into an epsilon-NFA via Thompson's construction.
+
+    The result has exactly one initial state (no incoming transitions) and
+    one final state (no outgoing transitions).  ``alphabet`` may supply extra
+    symbols beyond those occurring in ``expr`` (needed when an automaton over
+    a larger alphabet is required, e.g. for complementation).
+    """
+    builder = NFABuilder(alphabet or ())
+    builder.add_alphabet(expr.alphabet())
+    start, accept = _build(expr, builder)
+    builder.set_initial(start)
+    builder.set_final(accept)
+    return builder.build()
+
+
+def _build(expr: Regex, builder: NFABuilder) -> tuple[int, int]:
+    """Compile ``expr``; return its (start, accept) state pair."""
+    if isinstance(expr, EmptySet):
+        return builder.add_state(), builder.add_state()
+    if isinstance(expr, Epsilon):
+        start, accept = builder.add_state(), builder.add_state()
+        builder.add_epsilon(start, accept)
+        return start, accept
+    if isinstance(expr, Symbol):
+        start, accept = builder.add_state(), builder.add_state()
+        builder.add_transition(start, expr.symbol, accept)
+        return start, accept
+    if isinstance(expr, Concat):
+        start, current = _build(expr.parts[0], builder)
+        for part in expr.parts[1:]:
+            nxt_start, nxt_accept = _build(part, builder)
+            builder.add_epsilon(current, nxt_start)
+            current = nxt_accept
+        return start, current
+    if isinstance(expr, Union):
+        start, accept = builder.add_state(), builder.add_state()
+        for part in expr.parts:
+            p_start, p_accept = _build(part, builder)
+            builder.add_epsilon(start, p_start)
+            builder.add_epsilon(p_accept, accept)
+        return start, accept
+    if isinstance(expr, Star):
+        start, accept = builder.add_state(), builder.add_state()
+        inner_start, inner_accept = _build(expr.inner, builder)
+        builder.add_epsilon(start, inner_start)
+        builder.add_epsilon(inner_accept, accept)
+        builder.add_epsilon(start, accept)
+        builder.add_epsilon(inner_accept, inner_start)
+        return start, accept
+    raise TypeError(f"unknown Regex node: {expr!r}")
+
+
+def word_nfa(word: Sequence[Hashable], alphabet: Iterable[Hashable] | None = None) -> NFA:
+    """An NFA accepting exactly the single word ``word``."""
+    builder = NFABuilder(alphabet or ())
+    states = builder.add_states(len(word) + 1)
+    for i, symbol in enumerate(word):
+        builder.add_transition(states[i], symbol, states[i + 1])
+    builder.set_initial(states[0])
+    builder.set_final(states[-1])
+    return builder.build()
+
+
+def universal_nfa(alphabet: Iterable[Hashable]) -> NFA:
+    """An NFA accepting ``Sigma*`` over the given alphabet."""
+    symbols = set(alphabet)
+    builder = NFABuilder(symbols)
+    state = builder.add_state()
+    for symbol in symbols:
+        builder.add_transition(state, symbol, state)
+    builder.set_initial(state)
+    builder.set_final(state)
+    return builder.build()

@@ -1,0 +1,167 @@
+"""Command-line interface: rewrite queries from the shell.
+
+Examples::
+
+    python -m repro rewrite --query 'a.(b.a+c)*' \
+        --view e1=a --view 'e2=a.c*.b' --view e3=c
+
+    python -m repro rewrite --query 'a.(b+c)' --view q1=a --view q2=b \
+        --partial
+
+    python -m repro check --query 'a*' --view 'e=a.a'     # non-emptiness
+
+    python -m repro eval --graph edges.tsv --query 'a.b*'  # RPQ answers
+
+``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line.
+All regular expressions use the library's concrete syntax (``.``
+concatenation, ``+`` union, postfix ``*``; multi-character names are
+single symbols).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import (
+    ViewSet,
+    exactness_counterexample,
+    find_partial_rewritings,
+    has_nonempty_rewriting,
+    maximal_rewriting,
+    nonempty_rewriting_witness,
+)
+from .regex.printer import to_string
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="View-based rewriting of regular expressions and "
+        "regular path queries (Calvanese et al., PODS'99).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rewrite = sub.add_parser(
+        "rewrite", help="compute the maximal rewriting of a query"
+    )
+    rewrite.add_argument("--query", required=True, help="the query E0")
+    rewrite.add_argument(
+        "--view",
+        action="append",
+        required=True,
+        metavar="NAME=REGEX",
+        help="a view definition; repeatable",
+    )
+    rewrite.add_argument(
+        "--partial",
+        action="store_true",
+        help="if not exact, search for minimal elementary-view extensions",
+    )
+    rewrite.add_argument(
+        "--dot", action="store_true", help="also print the automaton in DOT"
+    )
+
+    check = sub.add_parser(
+        "check", help="decide non-emptiness of the maximal rewriting"
+    )
+    check.add_argument("--query", required=True)
+    check.add_argument("--view", action="append", required=True)
+
+    evaluate = sub.add_parser("eval", help="evaluate an RPQ over a graph")
+    evaluate.add_argument("--query", required=True)
+    evaluate.add_argument(
+        "--graph",
+        required=True,
+        help="TSV file with source<TAB>label<TAB>target lines",
+    )
+    return parser
+
+
+def _parse_views(definitions: Sequence[str]) -> ViewSet:
+    views = {}
+    for definition in definitions:
+        name, sep, expr = definition.partition("=")
+        if not sep or not name or not expr:
+            raise SystemExit(f"bad --view {definition!r}; expected NAME=REGEX")
+        views[name] = expr
+    return ViewSet(views)
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    views = _parse_views(args.view)
+    result = maximal_rewriting(args.query, views)
+    print("rewriting:", to_string(result.regex()))
+    print("empty:", result.is_empty())
+    exact = result.is_exact()
+    print("exact:", exact)
+    if not exact:
+        witness = exactness_counterexample(result)
+        if witness is not None:
+            print("missed query word:", ".".join(map(str, witness)) or "(empty)")
+        if args.partial:
+            solutions = find_partial_rewritings(args.query, views)
+            if solutions:
+                best = solutions[0]
+                print(
+                    "partial rewriting: add elementary views for",
+                    ", ".join(map(str, best.added)) or "(nothing)",
+                )
+                print("  ->", to_string(best.result.regex()))
+            else:
+                print("partial rewriting: none found")
+    if args.dot:
+        from .automata import to_dot
+
+        print(to_dot(result.automaton.trimmed(), name="rewriting"))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    views = _parse_views(args.view)
+    if has_nonempty_rewriting(args.query, views):
+        witness = nonempty_rewriting_witness(args.query, views)
+        print("nonempty:", ".".join(map(str, witness)) or "(empty word)")
+        return 0
+    print("empty")
+    return 1
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from .rpq import GraphDB, evaluate
+
+    db = GraphDB()
+    with open(args.graph, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise SystemExit(
+                    f"{args.graph}:{line_no}: expected 3 tab-separated fields"
+                )
+            source, label, target = parts
+            db.add_edge(source, label, target)
+    answers = sorted(evaluate(db, args.query))
+    for x, y in answers:
+        print(f"{x}\t{y}")
+    print(f"# {len(answers)} answers", file=sys.stderr)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "rewrite": _cmd_rewrite,
+        "check": _cmd_check,
+        "eval": _cmd_eval,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""The paper's core contribution: view-based rewriting of regular expressions.
+
+Public entry points:
+
+* :func:`maximal_rewriting` — Section 2's construction of the
+  Sigma_E-maximal rewriting ``R_{E,E0}`` (Theorem 2.2).
+* :func:`is_exact` / :func:`exactness_counterexample` — Theorem 2.3's
+  exactness check, with the paper's on-the-fly 2EXPSPACE variant.
+* :func:`has_nonempty_rewriting` — the EXPSPACE non-emptiness test
+  underlying Theorem 3.3.
+* :func:`find_partial_rewritings` and the Section 4.3 preference criteria.
+"""
+
+from .alphabet import LanguageSpec, ViewSet, compile_spec
+from .containing import ContainingRewriting, existential_rewriting
+from .emptiness import has_nonempty_rewriting, nonempty_rewriting_witness
+from .exactness import exactness_counterexample, is_exact
+from .expansion import expansion_nfa, word_expansion_nfa
+from .maximality import (
+    brute_force_rewriting_words,
+    expansions_equivalent,
+    is_rewriting,
+    verify_bounded_maximality,
+    word_expansion_contained,
+)
+from .partial import PartialRewriting, elementary_symbol_name, find_partial_rewritings
+from .preferences import (
+    RewritingCandidate,
+    best_candidates,
+    compare_candidates,
+    sort_candidates,
+)
+from .result import RewritingResult
+from .rewriter import build_a_prime, build_ad, maximal_rewriting
+
+__all__ = [
+    "ViewSet",
+    "LanguageSpec",
+    "compile_spec",
+    "ContainingRewriting",
+    "existential_rewriting",
+    "maximal_rewriting",
+    "build_ad",
+    "build_a_prime",
+    "RewritingResult",
+    "is_exact",
+    "exactness_counterexample",
+    "has_nonempty_rewriting",
+    "nonempty_rewriting_witness",
+    "expansion_nfa",
+    "word_expansion_nfa",
+    "is_rewriting",
+    "word_expansion_contained",
+    "expansions_equivalent",
+    "brute_force_rewriting_words",
+    "verify_bounded_maximality",
+    "PartialRewriting",
+    "find_partial_rewritings",
+    "elementary_symbol_name",
+    "RewritingCandidate",
+    "compare_candidates",
+    "best_candidates",
+    "sort_candidates",
+]

@@ -1,0 +1,121 @@
+"""View sets and the view alphabet Sigma_E.
+
+Section 2 of the paper associates with a set ``E = {E1, ..., Ek}`` of regular
+expressions an alphabet ``Sigma_E`` containing exactly one symbol per
+expression, written ``re(e)`` for the expression associated with symbol
+``e``.  :class:`ViewSet` is that association: an ordered, immutable mapping
+from view symbols to view languages, with cached compiled automata.
+
+View symbols are strings by convention (``e1``, ``e2``, ...), but any
+hashable symbol is accepted; view languages may be given as regex strings,
+:class:`~repro.regex.ast.Regex` trees, or automata.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Union
+
+from ..automata.dfa import DFA
+from ..automata.nfa import NFA
+from ..automata.thompson import to_nfa
+from ..regex.ast import Regex
+from ..regex.parser import parse
+
+__all__ = ["ViewSet", "LanguageSpec", "compile_spec"]
+
+LanguageSpec = Union[str, Regex, NFA, DFA]
+
+
+def compile_spec(spec: LanguageSpec) -> NFA:
+    """Compile a language specification (string/regex/automaton) to an NFA."""
+    if isinstance(spec, str):
+        return to_nfa(parse(spec))
+    if isinstance(spec, Regex):
+        return to_nfa(spec)
+    if isinstance(spec, NFA):
+        return spec
+    if isinstance(spec, DFA):
+        return spec.to_nfa()
+    raise TypeError(f"cannot compile {type(spec).__name__} into an automaton")
+
+
+class ViewSet:
+    """The paper's ``E`` together with its alphabet ``Sigma_E``.
+
+    Iteration order is the insertion order of the views, which also fixes
+    default symbol names ``e1..ek`` when :meth:`from_list` is used.
+    """
+
+    def __init__(self, views: Mapping[Hashable, LanguageSpec]):
+        if not views:
+            raise ValueError("a ViewSet needs at least one view")
+        self._exprs: dict[Hashable, Regex | None] = {}
+        self._nfas: dict[Hashable, NFA] = {}
+        for symbol, spec in views.items():
+            if isinstance(spec, str):
+                spec = parse(spec)
+            self._exprs[symbol] = spec if isinstance(spec, Regex) else None
+            self._nfas[symbol] = compile_spec(spec)
+
+    @classmethod
+    def from_list(
+        cls, specs: Iterable[LanguageSpec], prefix: str = "e"
+    ) -> "ViewSet":
+        """Build a view set with auto-generated symbols ``e1, e2, ...``."""
+        views = {f"{prefix}{i + 1}": spec for i, spec in enumerate(specs)}
+        return cls(views)
+
+    @property
+    def symbols(self) -> tuple[Hashable, ...]:
+        """The alphabet Sigma_E, in insertion order."""
+        return tuple(self._nfas)
+
+    def __len__(self) -> int:
+        return len(self._nfas)
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._nfas
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._nfas)
+
+    def re(self, symbol: Hashable) -> Regex:
+        """The regular expression ``re(symbol)`` (paper's notation).
+
+        Raises ``KeyError`` for unknown symbols and ``ValueError`` when the
+        view was supplied as a bare automaton (no syntax is available —
+        use :meth:`nfa` instead, or convert with ``automata.to_regex``).
+        """
+        expr = self._exprs[symbol]
+        if expr is None:
+            raise ValueError(
+                f"view {symbol!r} was defined by an automaton, not an expression"
+            )
+        return expr
+
+    def nfa(self, symbol: Hashable) -> NFA:
+        """The compiled automaton for ``re(symbol)``."""
+        return self._nfas[symbol]
+
+    def base_alphabet(self) -> frozenset[Hashable]:
+        """The base alphabet Sigma: all symbols used by the view languages."""
+        sigma: set[Hashable] = set()
+        for nfa in self._nfas.values():
+            sigma |= nfa.alphabet
+        return frozenset(sigma)
+
+    def extended(self, extra: Mapping[Hashable, LanguageSpec]) -> "ViewSet":
+        """A new view set with additional views appended (for Section 4.3)."""
+        merged: dict[Hashable, LanguageSpec] = {}
+        for symbol in self._nfas:
+            expr = self._exprs[symbol]
+            merged[symbol] = expr if expr is not None else self._nfas[symbol]
+        for symbol, spec in extra.items():
+            if symbol in merged:
+                raise ValueError(f"view symbol {symbol!r} already present")
+            merged[symbol] = spec
+        return ViewSet(merged)
+
+    def __repr__(self) -> str:
+        names = ", ".join(map(str, self.symbols))
+        return f"ViewSet({names})"

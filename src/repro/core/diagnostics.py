@@ -1,0 +1,66 @@
+"""Diagnostics: explain membership verdicts of the rewriting.
+
+When a Sigma_E word is *not* in the maximal rewriting, Theorem 2.2 says
+some expansion of it escapes ``L(E0)``.  These helpers extract such a
+witness (and the dual: a sample expansion inside ``L(E0)`` for accepted
+words), which the examples and the CLI use to make verdicts inspectable,
+and which double as a strong test oracle: the witness itself certifies the
+verdict independently of the construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..automata.containment import containment_counterexample
+from ..automata.emptiness import shortest_word
+from ..automata.operations import intersect_nfa
+from .expansion import word_expansion_nfa
+from .result import RewritingResult
+
+__all__ = ["explain_rejection", "sample_expansion", "explain"]
+
+
+def explain_rejection(
+    result: RewritingResult, word: Sequence[Hashable]
+) -> tuple[Hashable, ...] | None:
+    """A shortest expansion of ``word`` outside ``L(E0)``, or ``None``.
+
+    By Theorem 2.2, the result is ``None`` exactly when ``word`` belongs
+    to the maximal rewriting.
+    """
+    expansion = word_expansion_nfa(word, result.views)
+    return containment_counterexample(expansion, result.ad)
+
+
+def sample_expansion(
+    result: RewritingResult, word: Sequence[Hashable]
+) -> tuple[Hashable, ...] | None:
+    """A shortest expansion of ``word`` inside ``L(E0)``, or ``None``.
+
+    ``None`` means no expansion intersects the query at all (the word is
+    useless even under existential semantics).
+    """
+    expansion = word_expansion_nfa(word, result.views)
+    return shortest_word(intersect_nfa(expansion, result.ad.to_nfa()))
+
+
+def explain(result: RewritingResult, word: Sequence[Hashable]) -> str:
+    """A human-readable verdict for ``word`` with a witness."""
+    rendered = ".".join(map(str, word)) or "(empty word)"
+    bad = explain_rejection(result, word)
+    if bad is None:
+        good = sample_expansion(result, word)
+        sample = (
+            "".join(map(str, good))
+            if good is not None
+            else "(empty language — vacuously contained)"
+        )
+        return (
+            f"{rendered} IS in the rewriting: every expansion lies in "
+            f"L(E0); e.g. {sample or '(empty word)'}"
+        )
+    return (
+        f"{rendered} is NOT in the rewriting: the expansion "
+        f"{''.join(map(str, bad)) or '(empty word)'} escapes L(E0)"
+    )

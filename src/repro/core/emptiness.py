@@ -1,0 +1,72 @@
+"""Non-emptiness of the maximal rewriting (Theorem 3.3 upper bound).
+
+Deciding whether *some* non-empty rewriting exists does not require the
+doubly-exponential complement of ``A'`` to be materialized: the complement
+accepts a word iff the lazy subset construction of ``A'`` reaches a subset
+containing no ``A'``-final state (equivalently, a subset of ``Ad``-final
+states — including the empty subset, which arises when a view language is
+empty and therefore expands to the empty language, trivially contained in
+``L(E0)``).  Searching the subset space with early exit gives the paper's
+EXPSPACE upper bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+from ..automata.nfa import NFA
+from .alphabet import LanguageSpec, ViewSet
+from .rewriter import _as_view_set, build_a_prime, build_ad
+
+__all__ = ["has_nonempty_rewriting", "nonempty_rewriting_witness"]
+
+
+def has_nonempty_rewriting(
+    e0: LanguageSpec,
+    views: ViewSet | Mapping[Hashable, LanguageSpec] | Iterable[LanguageSpec],
+) -> bool:
+    """Is the Sigma_E-maximal rewriting of ``e0`` wrt ``views`` non-empty?"""
+    return nonempty_rewriting_witness(e0, views) is not None
+
+
+def nonempty_rewriting_witness(
+    e0: LanguageSpec,
+    views: ViewSet | Mapping[Hashable, LanguageSpec] | Iterable[LanguageSpec],
+) -> tuple[Hashable, ...] | None:
+    """A shortest Sigma_E word of the maximal rewriting, or ``None``.
+
+    Explores the determinization of ``A'`` lazily, stopping at the first
+    subset free of ``A'``-final states (such a subset is an accepting state
+    of the complement, i.e. of the rewriting).
+    """
+    views = _as_view_set(views)
+    ad = build_ad(e0, views)
+    a_prime = build_a_prime(ad, views)
+    return _first_rejecting_subset_word(a_prime, views.symbols)
+
+
+def _first_rejecting_subset_word(
+    a_prime: NFA, sigma_e: tuple[Hashable, ...]
+) -> tuple[Hashable, ...] | None:
+    """BFS over lazy subsets of ``A'`` for one disjoint from its finals."""
+    start = frozenset(a_prime.initials)
+    if not start & a_prime.finals:
+        return ()
+    seen: set[frozenset[int]] = {start}
+    queue: deque[tuple[frozenset[int], tuple[Hashable, ...]]] = deque([(start, ())])
+    while queue:
+        subset, word = queue.popleft()
+        for symbol in sigma_e:
+            moved: set[int] = set()
+            for state in subset:
+                moved.update(a_prime.successors(state, symbol))
+            target = frozenset(moved)
+            if target in seen:
+                continue
+            extended = word + (symbol,)
+            if not target & a_prime.finals:
+                return extended
+            seen.add(target)
+            queue.append((target, extended))
+    return None

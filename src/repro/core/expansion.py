@@ -1,0 +1,80 @@
+"""Expansion of Sigma_E languages back to Sigma languages.
+
+The paper defines ``exp_Sigma(alpha)`` as the language obtained from a
+language ``alpha`` over the view alphabet by substituting every view symbol
+with the corresponding view language.  Two constructions are provided:
+
+* :func:`expansion_nfa` — the automaton ``B`` of the exactness check
+  (Section 2): every ``e``-labelled edge of an automaton over Sigma_E is
+  replaced by a fresh copy of the view automaton for ``e``, glued in with
+  epsilon moves at the edge's endpoints (Thompson automata have unique
+  entry/exit states, matching the paper's normal form).
+* :func:`word_expansion_nfa` — the expansion of a single Sigma_E word
+  ``e1...en``, i.e. the concatenation ``L(re(e1)) ... L(re(en))``; used by
+  the maximality oracle and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Union
+
+from ..automata.dfa import DFA
+from ..automata.nfa import EPS, NFA, NFABuilder
+from ..automata.operations import concat_nfa
+from ..automata.thompson import to_nfa
+from ..regex.ast import EPSILON
+from .alphabet import ViewSet
+
+__all__ = ["expansion_nfa", "word_expansion_nfa"]
+
+Automaton = Union[NFA, DFA]
+
+
+def expansion_nfa(rewriting: Automaton, views: ViewSet) -> NFA:
+    """The automaton ``B`` accepting ``exp_Sigma(L(rewriting))``.
+
+    ``rewriting`` must be an automaton over (a subset of) the view alphabet.
+    The input is trimmed first — complement DFAs carry large dead parts that
+    would otherwise each receive a copy of every view automaton.
+    """
+    skeleton = rewriting.to_nfa() if isinstance(rewriting, DFA) else rewriting
+    unknown = skeleton.alphabet - set(views.symbols)
+    if unknown:
+        raise ValueError(f"automaton uses non-view symbols: {sorted(map(repr, unknown))}")
+    skeleton = skeleton.trimmed()
+    builder = NFABuilder(views.base_alphabet())
+    state_map = {state: builder.add_state() for state in sorted(skeleton.states)}
+    for state in skeleton.initials:
+        builder.set_initial(state_map[state])
+    for state in skeleton.finals:
+        builder.set_final(state_map[state])
+    for src, label, dst in skeleton.iter_transitions():
+        if label is EPS:
+            builder.add_epsilon(state_map[src], state_map[dst])
+            continue
+        _splice_view(builder, views.nfa(label), state_map[src], state_map[dst])
+    return builder.build()
+
+
+def _splice_view(builder: NFABuilder, view: NFA, source: int, target: int) -> None:
+    """Insert a fresh copy of ``view`` between ``source`` and ``target``."""
+    copy_map = {state: builder.add_state() for state in sorted(view.states)}
+    for v_src, label, v_dst in view.iter_transitions():
+        if label is EPS:
+            builder.add_epsilon(copy_map[v_src], copy_map[v_dst])
+        else:
+            builder.add_transition(copy_map[v_src], label, copy_map[v_dst])
+    for initial in view.initials:
+        builder.add_epsilon(source, copy_map[initial])
+    for final in view.finals:
+        builder.add_epsilon(copy_map[final], target)
+
+
+def word_expansion_nfa(word: Sequence[Hashable], views: ViewSet) -> NFA:
+    """The expansion ``exp_Sigma({word})`` of a single Sigma_E word."""
+    for symbol in word:
+        if symbol not in views:
+            raise KeyError(f"unknown view symbol {symbol!r}")
+    if not word:
+        return to_nfa(EPSILON, views.base_alphabet())
+    return concat_nfa(views.nfa(symbol) for symbol in word)

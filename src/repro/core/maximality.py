@@ -1,0 +1,92 @@
+"""Maximality notions and bounded verification oracles.
+
+The paper distinguishes Sigma_E-maximality (largest language over the view
+alphabet) from Sigma-maximality (largest language after expansion) and shows
+Sigma_E-maximal implies Sigma-maximal (Theorem 2.1) while the converse fails
+(Example 2.1: both ``e*`` and ``e`` are Sigma-maximal rewritings of ``a*``
+wrt ``{a*}``, only ``e*`` is Sigma_E-maximal).
+
+This module provides the semantic predicates needed to state those facts
+computationally, plus a brute-force bounded oracle used by the tests to
+validate the construction: a word-by-word re-derivation of the rewriting
+over all Sigma_E words up to a length bound.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Sequence, Union
+
+from ..automata.containment import are_equivalent, is_contained
+from ..automata.dfa import DFA
+from ..automata.nfa import NFA
+from .alphabet import ViewSet
+from .expansion import expansion_nfa, word_expansion_nfa
+from .result import RewritingResult
+
+__all__ = [
+    "is_rewriting",
+    "word_expansion_contained",
+    "expansions_equivalent",
+    "brute_force_rewriting_words",
+    "verify_bounded_maximality",
+]
+
+Automaton = Union[NFA, DFA]
+
+
+def is_rewriting(candidate: Automaton, e0_dfa: DFA, views: ViewSet) -> bool:
+    """Definition 2.1: is ``exp_Sigma(L(candidate)) subseteq L(E0)``?"""
+    return is_contained(expansion_nfa(candidate, views), e0_dfa)
+
+
+def word_expansion_contained(
+    word: Sequence[Hashable], views: ViewSet, e0_dfa: DFA
+) -> bool:
+    """Is ``exp_Sigma({word}) subseteq L(E0)`` for a single Sigma_E word?"""
+    return is_contained(word_expansion_nfa(word, views), e0_dfa)
+
+
+def expansions_equivalent(
+    left: Automaton, right: Automaton, views: ViewSet
+) -> bool:
+    """Do two Sigma_E languages have the same expansion (Sigma-equality)?
+
+    This is the equivalence underlying Sigma-maximality: Example 2.1's two
+    rewritings are expansion-equivalent but not Sigma_E-equivalent.
+    """
+    return are_equivalent(expansion_nfa(left, views), expansion_nfa(right, views))
+
+
+def brute_force_rewriting_words(
+    e0_dfa: DFA, views: ViewSet, max_length: int
+) -> list[tuple[Hashable, ...]]:
+    """All Sigma_E words up to ``max_length`` whose expansion is in ``L(E0)``.
+
+    Exponential in ``max_length`` — this is the test oracle, not the
+    algorithm.  By Theorem 2.2 the result must coincide with the accepted
+    words of :func:`repro.core.rewriter.maximal_rewriting` up to the bound.
+    """
+    words: list[tuple[Hashable, ...]] = []
+    for length in range(max_length + 1):
+        for word in product(views.symbols, repeat=length):
+            if word_expansion_contained(word, views, e0_dfa):
+                words.append(word)
+    return words
+
+
+def verify_bounded_maximality(
+    result: RewritingResult, max_length: int
+) -> list[tuple[Hashable, ...]]:
+    """Cross-check the rewriting against the brute-force oracle.
+
+    Returns the list of disagreeing Sigma_E words (empty means the rewriting
+    is sound and Sigma_E-maximal on all words up to ``max_length``).
+    """
+    disagreements: list[tuple[Hashable, ...]] = []
+    for length in range(max_length + 1):
+        for word in product(result.views.symbols, repeat=length):
+            expected = word_expansion_contained(word, result.views, result.ad)
+            if result.accepts(word) != expected:
+                disagreements.append(word)
+    return disagreements

@@ -1,0 +1,95 @@
+"""Partial rewritings (Section 4.3, specialized to regular expressions).
+
+When the maximal rewriting of ``E0`` wrt ``E`` is not exact, the paper
+proposes *partial* rewritings: extend ``E`` with additional atomic views —
+in the plain regular-expression setting these are the *elementary* views,
+one per base symbol ``a`` (the language ``{a}``) — so that the rewriting of
+``E0`` wrt the extended set ``E+`` becomes exact.  Choosing the set of all
+elementary views always succeeds, so the interesting problem is finding
+*minimal* extensions, which this module enumerates in order of size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable, Mapping
+
+from ..regex.ast import sym
+from .alphabet import LanguageSpec, ViewSet
+from .rewriter import _as_view_set, maximal_rewriting
+from .result import RewritingResult
+
+__all__ = ["PartialRewriting", "find_partial_rewritings", "elementary_symbol_name"]
+
+
+def elementary_symbol_name(symbol: Hashable) -> str:
+    """The Sigma_E name given to the elementary view for base symbol ``a``."""
+    return f"q[{symbol}]"
+
+
+@dataclass(frozen=True)
+class PartialRewriting:
+    """An exact rewriting of ``E0`` wrt ``E`` extended with atomic views.
+
+    ``added`` lists the base symbols whose elementary views were adjoined;
+    ``result`` is the (exact) rewriting over the extended alphabet.
+    """
+
+    added: tuple[Hashable, ...]
+    result: RewritingResult
+
+    @property
+    def num_added(self) -> int:
+        return len(self.added)
+
+
+def find_partial_rewritings(
+    e0: LanguageSpec,
+    views: ViewSet | Mapping[Hashable, LanguageSpec] | Iterable[LanguageSpec],
+    candidates: Iterable[Hashable] | None = None,
+    max_added: int | None = None,
+    find_all_minimal: bool = False,
+) -> list[PartialRewriting]:
+    """Find minimal sets of elementary views making the rewriting exact.
+
+    Parameters
+    ----------
+    candidates:
+        Base symbols eligible as elementary views; defaults to the whole
+        base alphabet (query symbols plus view symbols).
+    max_added:
+        Cap on the number of added views (default: all candidates).
+    find_all_minimal:
+        If true, return every minimum-cardinality solution; otherwise stop
+        at the first one found.
+
+    Returns
+    -------
+    list[PartialRewriting]
+        Empty iff no subset within ``max_added`` yields an exact rewriting.
+        If the original rewriting is already exact, a single entry with
+        ``added=()`` is returned.
+    """
+    views = _as_view_set(views)
+    from .alphabet import compile_spec
+
+    base_alphabet = views.base_alphabet() | compile_spec(e0).alphabet
+    pool = sorted(candidates if candidates is not None else base_alphabet, key=repr)
+    limit = len(pool) if max_added is None else min(max_added, len(pool))
+
+    solutions: list[PartialRewriting] = []
+    for size in range(0, limit + 1):
+        for subset in combinations(pool, size):
+            extension = {
+                elementary_symbol_name(symbol): sym(symbol) for symbol in subset
+            }
+            extended = views.extended(extension) if extension else views
+            result = maximal_rewriting(e0, extended)
+            if result.is_exact():
+                solutions.append(PartialRewriting(added=subset, result=result))
+                if not find_all_minimal:
+                    return solutions
+        if solutions:
+            return solutions  # minimum cardinality level exhausted
+    return solutions

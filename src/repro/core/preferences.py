@@ -1,0 +1,99 @@
+"""Preference criteria over (partial) rewritings (Section 4.3).
+
+The paper orders candidate rewritings lexicographically:
+
+1. a rewriting whose expansion strictly contains another's is preferable
+   (more of the query is captured);
+2. among expansion-equivalent rewritings, fewer *additional atomic* views
+   are preferable (materializing a new view is costly);
+3. then fewer additional atomic *non-elementary* views (non-elementary
+   ones are costlier still);
+4. then fewer views *used* overall (each view used has a query cost).
+
+"Used" views are those whose symbols actually occur in some word of the
+rewriting language, i.e. label a transition of the trimmed automaton.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..automata.containment import is_contained
+from .expansion import expansion_nfa
+from .result import RewritingResult
+
+__all__ = ["RewritingCandidate", "compare_candidates", "best_candidates"]
+
+
+@dataclass(frozen=True)
+class RewritingCandidate:
+    """A rewriting plus the bookkeeping the preference criteria need.
+
+    ``added_elementary`` / ``added_nonelementary`` record which *additional*
+    atomic views (beyond the original view set) the candidate relies on.
+    """
+
+    result: RewritingResult
+    added_elementary: frozenset[Hashable] = field(default_factory=frozenset)
+    added_nonelementary: frozenset[Hashable] = field(default_factory=frozenset)
+
+    @property
+    def num_added(self) -> int:
+        return len(self.added_elementary) + len(self.added_nonelementary)
+
+    def used_views(self) -> frozenset[Hashable]:
+        """View symbols occurring in some word of the rewriting."""
+        trimmed = self.result.automaton.trimmed()
+        return frozenset(label for _s, label, _d in trimmed.iter_transitions())
+
+
+def compare_candidates(left: RewritingCandidate, right: RewritingCandidate) -> int:
+    """Three-way comparison: negative iff ``left`` is preferable.
+
+    Implements criteria 1–4 in order; returns 0 for candidates the criteria
+    cannot distinguish.
+    """
+    left_exp = expansion_nfa(left.result.automaton, left.result.views)
+    right_exp = expansion_nfa(right.result.automaton, right.result.views)
+    left_in_right = is_contained(left_exp, right_exp)
+    right_in_left = is_contained(right_exp, left_exp)
+    # Criterion 1: strictly larger expansion wins.
+    if right_in_left and not left_in_right:
+        return -1
+    if left_in_right and not right_in_left:
+        return 1
+    if not (left_in_right and right_in_left):
+        return 0  # incomparable languages: no preference
+    # Criterion 2: fewer additional atomic views.
+    if left.num_added != right.num_added:
+        return left.num_added - right.num_added
+    # Criterion 3: fewer additional non-elementary atomic views.
+    if len(left.added_nonelementary) != len(right.added_nonelementary):
+        return len(left.added_nonelementary) - len(right.added_nonelementary)
+    # Criterion 4: fewer views used.
+    return len(left.used_views()) - len(right.used_views())
+
+
+def best_candidates(candidates: list[RewritingCandidate]) -> list[RewritingCandidate]:
+    """The maximal elements of the preference order (often a singleton)."""
+    if not candidates:
+        return []
+    best: list[RewritingCandidate] = []
+    for candidate in candidates:
+        dominated = False
+        for other in candidates:
+            if other is candidate:
+                continue
+            if compare_candidates(other, candidate) < 0:
+                dominated = True
+                break
+        if not dominated:
+            best.append(candidate)
+    return best
+
+
+def sort_candidates(candidates: list[RewritingCandidate]) -> list[RewritingCandidate]:
+    """Sort candidates best-first (stable for incomparable pairs)."""
+    return sorted(candidates, key=functools.cmp_to_key(compare_candidates))

@@ -1,0 +1,40 @@
+"""Lower-bound constructions of Section 3.2.
+
+* :func:`expspace_reduction` — Theorem 3.3: corridor tiling (width 2^n)
+  reduces to non-emptiness of the maximal rewriting (EXPSPACE-hardness);
+* :func:`counter_reduction` — Theorem 3.4: a polynomial family whose only
+  rewriting word has length ``2^n * 2^(2^n)``;
+* :func:`twoexpspace_reduction` — Theorem 3.5: corridor tiling of width
+  ``2^(2^n)`` reduces to existence of an exact rewriting
+  (2EXPSPACE-hardness);
+* :class:`TilingSystem` / :func:`solve_corridor_tiling` — the tiling
+  substrate with a brute-force ground-truth solver.
+"""
+
+from .counter import (
+    COUNTER_SYMBOLS,
+    CounterReduction,
+    counter_reduction,
+    counter_word,
+    symbol_bits,
+)
+from .expspace import ExpspaceReduction, expspace_reduction, tiling_word
+from .tiling import TilingSystem, is_valid_tiling, solve_corridor_tiling
+from .twoexpspace import TwoExpspaceReduction, tilde, twoexpspace_reduction
+
+__all__ = [
+    "TilingSystem",
+    "solve_corridor_tiling",
+    "is_valid_tiling",
+    "ExpspaceReduction",
+    "expspace_reduction",
+    "tiling_word",
+    "CounterReduction",
+    "counter_reduction",
+    "counter_word",
+    "COUNTER_SYMBOLS",
+    "symbol_bits",
+    "TwoExpspaceReduction",
+    "twoexpspace_reduction",
+    "tilde",
+]

@@ -1,0 +1,358 @@
+"""Block-pattern builders shared by the Section 3.2 constructions.
+
+All three lower-bound reductions encode words as sequences of *blocks*
+
+    $ . p_0..p_{n-1} . c_0..c_{n-1} . x_0..x_{n-1} . h . t
+
+— a ``$`` marker, ``n`` position bits, ``n`` carry bits, ``n`` next bits
+(together an n-bit counter with increment bookkeeping), one highlight bit,
+and a trailing tile symbol (block length ``3n + 3``).  Bits are indexed from
+0 at the least-significant position, matching the paper's convention.
+
+This module provides regex combinators for individual blocks with selected
+constraints (position class, highlight value, tile subset) and for the
+counter-consistency "bad word" detectors (the paper's conditions 1-6), so
+that the Theorem 3.3/3.4/3.5 constructions read like the paper's formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..regex.ast import (
+    Regex,
+    any_of,
+    concat,
+    power,
+    star,
+    sym,
+    union,
+    word,
+)
+
+__all__ = [
+    "MARKER",
+    "ZERO",
+    "ONE",
+    "bits",
+    "zeros",
+    "ones",
+    "nonzero_bits",
+    "block",
+    "any_block",
+    "counter_bad_conditions",
+    "highlight_bad_conditions",
+    "block_view_expr",
+]
+
+MARKER = "$"
+ZERO = "0"
+ONE = "1"
+
+
+def bits(count: int) -> Regex:
+    """``(0+1)^count`` — any ``count`` bits."""
+    return power(any_of([ZERO, ONE]), count)
+
+
+def zeros(count: int) -> Regex:
+    """``0^count``."""
+    return word([ZERO] * count)
+
+
+def ones(count: int) -> Regex:
+    """``1^count``."""
+    return word([ONE] * count)
+
+
+def nonzero_bits(count: int) -> Regex:
+    """``count`` bits that are not all zero."""
+    if count < 1:
+        raise ValueError("need at least one bit")
+    return union(
+        *(
+            concat(bits(i), sym(ONE), bits(count - 1 - i))
+            for i in range(count)
+        )
+    )
+
+
+def _position_part(n: int, position: str | None) -> Regex:
+    if position is None:
+        return bits(n)
+    if position == "zero":
+        return zeros(n)
+    if position == "ones":
+        return ones(n)
+    if position == "nonzero":
+        return nonzero_bits(n)
+    if position == "not_ones":
+        # position with at least one 0 bit
+        return union(
+            *(
+                concat(bits(i), sym(ZERO), bits(n - 1 - i))
+                for i in range(n)
+            )
+        )
+    raise ValueError(f"unknown position class {position!r}")
+
+
+def _tile_part(tiles: Hashable | Iterable[Hashable]) -> Regex:
+    if isinstance(tiles, (str, bytes)) or not isinstance(tiles, Iterable):
+        return sym(tiles)
+    tiles = list(tiles)
+    if not tiles:
+        raise ValueError("empty tile set in block pattern")
+    return any_of(tiles)
+
+
+def block(
+    n: int,
+    tiles: Hashable | Iterable[Hashable],
+    position: str | None = None,
+    highlight: int | None = None,
+    extra: Regex | None = None,
+) -> Regex:
+    """One block: ``$ . <position> . (0+1)^{2n} . <highlight> . <tile>``.
+
+    ``position`` selects a class for the n position bits (``None`` = any,
+    ``"zero"``, ``"ones"``, ``"nonzero"``, ``"not_ones"``); ``highlight``
+    fixes the highlight bit; ``tiles`` restricts the tile symbol.  ``extra``
+    adds an alternative to the whole block (used by Theorem 3.5's
+    ``+ Delta`` wrapping).
+    """
+    hl = bits(1) if highlight is None else sym(ONE if highlight else ZERO)
+    result = concat(
+        sym(MARKER), _position_part(n, position), bits(2 * n), hl, _tile_part(tiles)
+    )
+    if extra is not None:
+        result = union(result, extra)
+    return result
+
+
+def any_block(n: int, tiles: Sequence[Hashable], extra: Regex | None = None) -> Regex:
+    """The paper's ``B = $ . (0+1)^{3n+1} . Delta``."""
+    return block(n, tiles, extra=extra)
+
+
+def block_view_expr(n: int, tile: Hashable) -> Regex:
+    """The view ``re(e) = $ . (0+1)^{3n+1} . e`` of Theorems 3.3/3.4."""
+    return concat(sym(MARKER), bits(3 * n + 1), sym(tile))
+
+
+def counter_bad_conditions(
+    n: int,
+    tiles: Sequence[Hashable],
+    include_end_anchor: bool = False,
+    extra: Regex | None = None,
+) -> list[Regex]:
+    """Detectors for counter errors — the paper's conditions (1)-(6).
+
+    Each returned expression matches only words violating the respective
+    condition.  Condition (2) — "the last block's position is not all ones"
+    — is included only with ``include_end_anchor=True``: as printed it makes
+    every word of length not a multiple of ``2^n`` *vacuously* rewritable
+    (all its expansions become bad), so the default 'strict' variant of the
+    reductions moves the end anchor into the good-side expressions instead
+    (see :mod:`repro.reductions.expspace`).
+
+    ``extra`` is threaded into every block sub-expression (Theorem 3.5's
+    ``+ Delta``).
+    """
+    delta = list(tiles)
+    b_any = any_block(n, delta, extra=extra)
+    b_star = star(b_any)
+    tile_any = _tile_part(delta)
+    conditions: list[Regex] = []
+
+    def wrap_block(body: Regex) -> Regex:
+        return body if extra is None else union(body, extra)
+
+    # (1) some position bit of the first block is 1
+    cond1_blocks = [
+        wrap_block(
+            concat(sym(MARKER), bits(i), sym(ONE), bits(3 * n - i), tile_any)
+        )
+        for i in range(n)
+    ]
+    conditions.append(concat(union(*cond1_blocks), b_star))
+
+    if include_end_anchor:
+        # (2) some position bit of the last block is 0
+        cond2_blocks = [
+            wrap_block(
+                concat(sym(MARKER), bits(i), sym(ZERO), bits(3 * n - i), tile_any)
+            )
+            for i in range(n)
+        ]
+        conditions.append(concat(b_star, union(*cond2_blocks)))
+
+    # (3) carry bit 0 of some block is 0
+    cond3_block = wrap_block(
+        concat(sym(MARKER), bits(n), sym(ZERO), bits(2 * n), tile_any)
+    )
+    conditions.append(concat(b_star, cond3_block, b_star))
+
+    # (4) carry(w,i) != carry(w,i-1) AND position(w,i-1)
+    cond4_blocks: list[Regex] = []
+    for i in range(1, n):
+        for p_bit in (ZERO, ONE):
+            for c_bit in (ZERO, ONE):
+                expected = ONE if (p_bit == ONE and c_bit == ONE) else ZERO
+                wrong = ZERO if expected == ONE else ONE
+                cond4_blocks.append(
+                    wrap_block(
+                        concat(
+                            sym(MARKER),
+                            bits(i - 1),
+                            sym(p_bit),
+                            bits(n - i),
+                            bits(i - 1),
+                            sym(c_bit),
+                            sym(wrong),
+                            bits(n - 1 - i),
+                            bits(n + 1),
+                            tile_any,
+                        )
+                    )
+                )
+    if cond4_blocks:
+        conditions.append(concat(b_star, union(*cond4_blocks), b_star))
+
+    # (5) next(w,i) != position(w,i) xor carry(w,i)
+    cond5_blocks: list[Regex] = []
+    for i in range(n):
+        for p_bit in (ZERO, ONE):
+            for c_bit in (ZERO, ONE):
+                wrong_next = ZERO if (p_bit != c_bit) else ONE
+                cond5_blocks.append(
+                    wrap_block(
+                        concat(
+                            sym(MARKER),
+                            bits(i),
+                            sym(p_bit),
+                            bits(n - 1 - i),
+                            bits(i),
+                            sym(c_bit),
+                            bits(n - 1 - i),
+                            bits(i),
+                            sym(wrong_next),
+                            bits(n - 1 - i),
+                            bits(1),
+                            tile_any,
+                        )
+                    )
+                )
+    conditions.append(concat(b_star, union(*cond5_blocks), b_star))
+
+    # (6) position(w_j, i) != next(w_{j-1}, i)
+    cond6_pairs: list[Regex] = []
+    for i in range(n):
+        for b_bit, b_neg in ((ZERO, ONE), (ONE, ZERO)):
+            first = wrap_block(
+                concat(
+                    sym(MARKER),
+                    bits(2 * n),
+                    bits(i),
+                    sym(b_bit),
+                    bits(n - 1 - i),
+                    bits(1),
+                    tile_any,
+                )
+            )
+            second = wrap_block(
+                concat(
+                    sym(MARKER),
+                    bits(i),
+                    sym(b_neg),
+                    bits(n - 1 - i),
+                    bits(2 * n),
+                    bits(1),
+                    tile_any,
+                )
+            )
+            cond6_pairs.append(concat(first, second))
+    conditions.append(concat(b_star, union(*cond6_pairs), b_star))
+
+    return conditions
+
+
+def highlight_bad_conditions(
+    n: int,
+    tiles: Sequence[Hashable],
+    extra: Regex | None = None,
+) -> list[Regex]:
+    """Detectors for invalid highlighting — the paper's condition (7).
+
+    (i)   no highlight bit is on (one-or-more blocks: the empty word must
+          stay outside ``L(E0)`` so that the empty Sigma_E word is not
+          vacuously rewritable);
+    (ii)  a single highlight at a block whose position is all ones;
+    (iii) at least three highlights;
+    (iv)  two highlights with at least two all-zero-position blocks strictly
+          between them (i.e. more than ``2^n`` blocks apart);
+    (v)   two highlights at blocks with different positions;
+    (vi)  two highlights at all-zero positions with a zero-position block
+          strictly between them.
+
+    Condition (vi) is an amendment: the paper characterizes "exactly 2^n
+    apart" as "equal positions with at most one zero-position block
+    between", but for highlights at position ``0^n`` a *2*2^n* gap also has
+    exactly one zero-position block between (the intermediate wrap), so two
+    counter-periods would otherwise pass as one.  The extra detector closes
+    that gap; without it the Theorem 3.4 instance rejects its own counter
+    word (a mis-spaced "vertical" comparison at distance ``2*2^n`` fails
+    the good-side relation test).
+    """
+    delta = list(tiles)
+    b_any = any_block(n, delta, extra=extra)
+    b_star = star(b_any)
+    unhighlighted = block(n, delta, highlight=0, extra=extra)
+    highlighted = block(n, delta, highlight=1, extra=extra)
+    zero_pos = block(n, delta, position="zero", extra=extra)
+    u_star = star(unhighlighted)
+    tile_any = _tile_part(delta)
+
+    conditions: list[Regex] = [
+        # (i) no highlights at all (non-empty)
+        concat(unhighlighted, u_star),
+        # (ii) one highlight, at position 1^n
+        concat(
+            u_star,
+            block(n, delta, position="ones", highlight=1, extra=extra),
+            u_star,
+        ),
+        # (iii) three or more highlights
+        concat(b_star, highlighted, b_star, highlighted, b_star, highlighted, b_star),
+        # (iv) two highlights, >= 2 zero-position blocks strictly between
+        concat(
+            b_star, highlighted, b_star, zero_pos, b_star, zero_pos, b_star,
+            highlighted, b_star,
+        ),
+        # (vi) two highlights at zero positions with a zero strictly between
+        concat(
+            b_star,
+            block(n, delta, position="zero", highlight=1, extra=extra),
+            b_star,
+            zero_pos,
+            b_star,
+            block(n, delta, position="zero", highlight=1, extra=extra),
+            b_star,
+        ),
+    ]
+    # (v) two highlights at blocks whose positions differ in bit i
+    cond5_pairs: list[Regex] = []
+    for i in range(n):
+        for b_bit, b_neg in ((ZERO, ONE), (ONE, ZERO)):
+            first = concat(
+                sym(MARKER), bits(i), sym(b_bit), bits(3 * n - 1 - i), sym(ONE), tile_any
+            )
+            second = concat(
+                sym(MARKER), bits(i), sym(b_neg), bits(3 * n - 1 - i), sym(ONE), tile_any
+            )
+            if extra is not None:
+                first = union(first, extra)
+                second = union(second, extra)
+            cond5_pairs.append(concat(first, b_star, second))
+    conditions.append(concat(b_star, union(*cond5_pairs), b_star))
+    return conditions

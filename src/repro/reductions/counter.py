@@ -1,0 +1,273 @@
+"""Theorem 3.4: a polynomial family whose shortest rewriting is doubly
+exponential.
+
+For each ``n >= 1`` the construction yields ``E0^n`` and views ``E^n`` of
+combined size polynomial in ``n`` whose Sigma_E-maximal rewriting is
+exactly ``(w_C)^+`` — one or more repetitions of the word ``w_C``
+describing the complete run of a ``2^n``-bit counter: ``2^(2^n)``
+configurations of ``2^n`` symbols each.  The shortest rewriting word is
+therefore ``w_C`` itself, of length ``2^n * 2^(2^n) >= 2^(2^n)``, which is
+what Theorem 3.4's pumping argument needs.  (Repetitions arise because all
+constraints are local: after the all-ones configuration the counter may
+wrap to zero and run again, and no polynomially-sized local check can tell
+"final configuration then end" from "final configuration then wrap" in the
+middle of a word.  The paper's construction has the same property.)
+
+The view alphabet is the paper's eight symbols ``b_pcx`` — a position, a
+carry and a next bit of the big counter.  Each expands to a block
+``$.(0+1)^{3n+1}.b_pcx`` whose free bits carry the *inner* n-bit counter of
+Theorem 3.3; the inner counter's highlight machinery compares symbols that
+are exactly ``2^n`` apart (same inner position, at most one wrap between),
+which is how the construction relates consecutive configurations:
+
+* within a configuration (adjacent symbols): carry propagation
+  ``c' = c AND p`` plus the per-symbol law ``x = p XOR c``, checked by
+  single-highlight (horizontal-style) good words;
+* across configurations (``2^n`` apart): ``p' = x``, checked by
+  double-highlight (vertical-style) good words;
+* boundary symbols are anchored: the first symbol is ``b011`` (bit 0 of
+  value 0 being incremented) and the last is ``b110`` (top bit of the
+  all-ones final value); the first/last configurations are forced to
+  all-zero/all-one positions by configuration-local variants of the
+  horizontal relation.
+
+As in :mod:`repro.reductions.expspace`, the good-side patterns anchor the
+final block at inner position ``1^n`` so that degenerate-length words are
+rejected rather than vacuously accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.alphabet import ViewSet
+from ..regex.ast import Regex, concat, star, union
+from .blocks import (
+    block,
+    block_view_expr,
+    counter_bad_conditions,
+    highlight_bad_conditions,
+)
+
+__all__ = [
+    "CounterReduction",
+    "counter_reduction",
+    "counter_word",
+    "COUNTER_SYMBOLS",
+    "symbol_bits",
+]
+
+COUNTER_SYMBOLS = tuple(
+    f"b{p}{c}{x}" for p in "01" for c in "01" for x in "01"
+)
+
+FIRST_SYMBOL = "b011"  # bit 0 of configuration 0: p=0, c=1, x=1
+LAST_SYMBOL = "b110"  # top bit of the all-ones final configuration
+
+
+def symbol_bits(symbol: str) -> tuple[int, int, int]:
+    """The ``(position, carry, next)`` components of a counter symbol."""
+    return (int(symbol[1]), int(symbol[2]), int(symbol[3]))
+
+
+def _legal(symbol: str) -> bool:
+    p, c, x = symbol_bits(symbol)
+    return x == (p ^ c)
+
+
+def _h_step(left: str, right: str) -> bool:
+    """Adjacent symbols within a configuration: carry propagation."""
+    p, c, _x = symbol_bits(left)
+    _p2, c2, _x2 = symbol_bits(right)
+    return _legal(left) and _legal(right) and c2 == (c & p)
+
+
+def _v_step(below: str, above: str) -> bool:
+    """Symbols 2^n apart: the next configuration's position bit."""
+    _p, _c, x = symbol_bits(below)
+    p2, _c2, _x2 = symbol_bits(above)
+    return p2 == x
+
+
+@dataclass
+class CounterReduction:
+    """The Theorem 3.4 instance ``(E0^n, E^n)``."""
+
+    n: int
+    e0: Regex
+    views: ViewSet
+    e_bad: Regex
+    e_good: Regex
+
+    @property
+    def configuration_length(self) -> int:
+        return 2 ** self.n
+
+    @property
+    def word_length(self) -> int:
+        """``2^n * 2^(2^n)`` — the length of the unique rewriting word."""
+        return self.configuration_length * 2 ** self.configuration_length
+
+
+def counter_word(n: int) -> tuple[str, ...]:
+    """The unique rewriting word ``w_C`` of the Theorem 3.4 instance.
+
+    Configuration ``r`` contributes ``2^n`` symbols, least-significant bit
+    first: symbol ``i`` of configuration ``r`` is ``b_pcx`` with ``p`` the
+    i-th bit of ``r``, ``c`` the i-th carry of the increment ``r -> r+1``
+    and ``x = p XOR c`` the i-th bit of ``r + 1``.
+    """
+    width = 2 ** n
+    symbols: list[str] = []
+    for value in range(2 ** width):
+        carry = 1
+        for i in range(width):
+            p = (value >> i) & 1
+            c = carry
+            x = p ^ c
+            carry = c & p
+            symbols.append(f"b{p}{c}{x}")
+    return tuple(symbols)
+
+
+def counter_reduction(n: int) -> CounterReduction:
+    """Build the Theorem 3.4 instance for ``n >= 1``."""
+    if n < 1:
+        raise ValueError("the construction needs n >= 1")
+    symbols = list(COUNTER_SYMBOLS)
+
+    bad_terms = counter_bad_conditions(n, symbols)
+    bad_terms.extend(highlight_bad_conditions(n, symbols))
+    e_bad = union(*bad_terms)
+    e_good = _build_e_good(n)
+    e0 = union(e_bad, e_good)
+    views = ViewSet({s: block_view_expr(n, s) for s in symbols})
+    return CounterReduction(n=n, e0=e0, views=views, e_bad=e_bad, e_good=e_good)
+
+
+def _build_e_good(n: int) -> Regex:
+    """Good-word acceptor: anchored, configuration-aware adjacency checks.
+
+    Case split on the placement of the highlight(s); "first / middle / last
+    configuration" is expressed by counting inner-position-zero blocks
+    before/after the highlighted pair (a block starts a configuration iff
+    its inner position is ``0^n``).
+    """
+    symbols = list(COUNTER_SYMBOLS)
+
+    # Symbol relations.
+    h_any = [(a, b) for a in symbols for b in symbols if _h_step(a, b)]
+    h_first = [
+        (a, b)
+        for a, b in h_any
+        if symbol_bits(a)[0] == 0 and symbol_bits(b)[0] == 0
+    ]
+    h_last = [
+        (a, b)
+        for a, b in h_any
+        if symbol_bits(a)[0] == 1 and symbol_bits(b)[0] == 1
+    ]
+    h_config_start = [(a, b) for a, b in h_any if symbol_bits(a)[1] == 1]
+    h_config_start_last = [(a, b) for a, b in h_config_start if (a, b) in h_last]
+    v_any = [(a, b) for a in symbols for b in symbols if _v_step(a, b)]
+
+    first_u = block(n, [FIRST_SYMBOL], highlight=0)
+    first_h = block(n, [FIRST_SYMBOL], highlight=1)
+    last_u = block(n, [LAST_SYMBOL], position="ones", highlight=0)
+    last_h = block(n, [LAST_SYMBOL], position="ones", highlight=1)
+    u_any = block(n, symbols, highlight=0)
+    u_nonzero = block(n, symbols, position="nonzero", highlight=0)
+    u_zero = block(n, symbols, position="zero", highlight=0)
+    u_star = star(u_any)
+    nz_star = star(u_nonzero)
+
+    def pair(left: str, right: str, left_position: str | None = None) -> Regex:
+        return concat(
+            block(n, [left], position=left_position, highlight=1),
+            block(n, [right], highlight=0),
+        )
+
+    terms: list[Regex] = []
+
+    # --- Horizontal-style checks (single highlight at the left symbol) ---
+    # h = 0: the anchored first block is highlighted.
+    h0 = [pair(a, b) for a, b in h_first if a == FIRST_SYMBOL]
+    if h0:
+        terms.append(concat(union(*h0), u_star, last_u))
+    # h >= 1 inside the first configuration (no zero-position block between
+    # block 0 and the pair): positions all 0.
+    t = [pair(a, b, left_position="nonzero") for a, b in h_first]
+    if t:
+        terms.append(concat(first_u, nz_star, union(*t), u_star, last_u))
+    # h at a configuration start (middle configuration): carry-in is 1.
+    t = [pair(a, b, left_position="zero") for a, b in h_config_start]
+    if t:
+        terms.append(
+            concat(first_u, u_star, union(*t), u_star, u_zero, u_star, last_u)
+        )
+    # h at the start of the last configuration.
+    t = [pair(a, b, left_position="zero") for a, b in h_config_start_last]
+    if t:
+        terms.append(concat(first_u, u_star, union(*t), nz_star, last_u))
+    # ... with the pair's right element being the anchored last block
+    # (n = 1 only: configurations have length 2, so the last block directly
+    # follows the last configuration's start).
+    t = [
+        concat(block(n, [a], position="zero", highlight=1), last_u)
+        for a, b in h_config_start_last
+        if b == LAST_SYMBOL
+    ]
+    if t:
+        terms.append(concat(first_u, u_star, union(*t)))
+    # h mid-configuration, middle configuration (a zero before and after).
+    t = [pair(a, b, left_position="nonzero") for a, b in h_any]
+    if t:
+        terms.append(
+            concat(
+                first_u, u_star, u_zero, u_star, union(*t), u_star, u_zero,
+                u_star, last_u,
+            )
+        )
+    # h mid-configuration, last configuration (zero before, none after).
+    t = [pair(a, b, left_position="nonzero") for a, b in h_last]
+    if t:
+        terms.append(
+            concat(first_u, u_star, u_zero, nz_star, union(*t), nz_star, last_u)
+        )
+    # ... with the pair's right element being the anchored last block.
+    t = [
+        concat(block(n, [a], position="nonzero", highlight=1), last_u)
+        for a, b in h_last
+        if b == LAST_SYMBOL
+    ]
+    if t:
+        terms.append(concat(first_u, u_star, u_zero, nz_star, union(*t)))
+
+    # --- Vertical-style checks (two highlights, 2^n blocks apart) ---
+    # h = 0: the first block is highlighted.
+    t = [
+        concat(first_h, u_star, block(n, [b], highlight=1))
+        for a, b in v_any
+        if a == FIRST_SYMBOL
+    ]
+    if t:
+        terms.append(concat(union(*t), u_star, last_u))
+    # generic: both highlights strictly inside.
+    t = [
+        concat(
+            block(n, [a], highlight=1), u_star, block(n, [b], highlight=1)
+        )
+        for a, b in v_any
+    ]
+    if t:
+        terms.append(concat(first_u, u_star, union(*t), u_star, last_u))
+    # k = a: the upper highlight is the anchored last block.
+    t = [
+        concat(block(n, [a], highlight=1), u_star, last_h)
+        for a, b in v_any
+        if b == LAST_SYMBOL
+    ]
+    if t:
+        terms.append(concat(first_u, u_star, union(*t)))
+
+    return union(*terms)

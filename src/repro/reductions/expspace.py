@@ -1,0 +1,196 @@
+"""Theorem 3.3: tiling existence reduces to rewriting non-emptiness.
+
+Given a tiling system ``T`` and a number ``n``, the construction produces a
+regular expression ``E0`` and views ``E`` (all of size polynomial in ``T``
+and ``n``) over ``Sigma = {$, 0, 1} + Delta`` such that a Delta-word
+``e_1...e_a`` has all its expansions inside ``L(E0)`` — i.e. belongs to the
+maximal rewriting — iff it describes a ``2^n x k`` T-tiling (read row by
+row, bottom row first).
+
+Every view is ``re(t) = $.(0+1)^{3n+1}.t``: a block whose 3n+1 free bits
+carry an n-bit position counter (column index), its increment bookkeeping
+(carry/next bits) and a highlight bit.  ``E0 = E_bad + E_good``:
+
+* ``E_bad`` detects malformed counters or highlightings (conditions 1-7);
+* ``E_good`` accepts well-formed words exactly when the highlighted tiles
+  respect the adjacency relations and the corner tiles are right.
+
+Variants
+--------
+``variant="strict"`` (default) — two amendments that make the reduction
+*literally* correct, where the paper's printed construction glosses over
+degenerate words:
+
+1. condition (2) ("last position not all ones") is moved out of ``E_bad``
+   and enforced as a position anchor on the final block of every ``E_good``
+   pattern.  As printed, a word whose length is not a multiple of ``2^n``
+   has *every* expansion bad, hence lands in the rewriting vacuously;
+2. condition (7-i) requires at least one block, so the empty word is not
+   vacuously rewritable.
+
+``variant="paper"`` — the construction exactly as printed (used by tests to
+exhibit the degeneracy, and by the size benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.alphabet import ViewSet
+from ..regex.ast import Regex, concat, star, union
+from .blocks import (
+    any_block,
+    block,
+    block_view_expr,
+    counter_bad_conditions,
+    highlight_bad_conditions,
+)
+from .tiling import TilingSystem
+
+__all__ = ["ExpspaceReduction", "expspace_reduction", "tiling_word"]
+
+VARIANTS = ("strict", "paper")
+
+
+@dataclass
+class ExpspaceReduction:
+    """The instance ``(E0, E)`` produced from a tiling system and ``n``."""
+
+    system: TilingSystem
+    n: int
+    variant: str
+    e0: Regex
+    views: ViewSet
+    e_bad: Regex
+    e_good: Regex
+
+    @property
+    def width(self) -> int:
+        """The row width ``2^n`` of the encoded tilings."""
+        return 2 ** self.n
+
+    def word_describes_tiling(self, word: Sequence[str]) -> bool:
+        """Ground truth: does the Delta-word describe a valid T-tiling?"""
+        from .tiling import is_valid_tiling
+
+        width = self.width
+        if len(word) == 0 or len(word) % width != 0:
+            return False
+        rows = [list(word[i : i + width]) for i in range(0, len(word), width)]
+        return is_valid_tiling(self.system, rows, width)
+
+
+def tiling_word(rows: Sequence[Sequence[str]]) -> tuple[str, ...]:
+    """Flatten a tiling (bottom row first) into its describing Delta-word."""
+    return tuple(tile for row in rows for tile in row)
+
+
+def expspace_reduction(
+    system: TilingSystem, n: int, variant: str = "strict"
+) -> ExpspaceReduction:
+    """Build the Theorem 3.3 instance for ``system`` and ``n >= 1``."""
+    if n < 1:
+        raise ValueError("the construction needs n >= 1")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if not system.t_start or not system.t_final:
+        raise ValueError("Theorem 3.3 needs distinguished start/final tiles")
+
+    tiles = list(system.tiles)
+    strict = variant == "strict"
+
+    bad_terms = counter_bad_conditions(n, tiles, include_end_anchor=not strict)
+    highlight_terms = highlight_bad_conditions(n, tiles)
+    if not strict:
+        # The paper's (7-i) is a plain star and accepts the empty word too.
+        highlight_terms[0] = star(block(n, tiles, highlight=0))
+    bad_terms.extend(highlight_terms)
+    e_bad = union(*bad_terms)
+
+    e_good = _build_e_good(system, n, strict)
+
+    e0 = union(e_bad, e_good)
+    views = ViewSet({tile: block_view_expr(n, tile) for tile in tiles})
+    return ExpspaceReduction(
+        system=system,
+        n=n,
+        variant=variant,
+        e0=e0,
+        views=views,
+        e_bad=e_bad,
+        e_good=e_good,
+    )
+
+
+def _build_e_good(system: TilingSystem, n: int, strict: bool) -> Regex:
+    """The good-word acceptor: anchors + one case per highlight placement."""
+    tiles = list(system.tiles)
+    t_start, t_final = system.t_start, system.t_final
+    h_pairs = sorted(system.horizontal)
+    v_pairs = sorted(system.vertical)
+
+    final_pos = "ones" if strict else None
+
+    first_u = block(n, [t_start], highlight=0)
+    first_h = block(n, [t_start], highlight=1)
+    last_u = block(n, [t_final], position=final_pos, highlight=0)
+    last_h = block(n, [t_final], position=final_pos, highlight=1)
+    unhighlighted = block(n, tiles, highlight=0)
+    u_star = star(unhighlighted)
+
+    def h_pair(t1: str, t2: str, t2_last: bool = False) -> Regex:
+        right = block(
+            n, [t2], position=final_pos if t2_last else None, highlight=0
+        )
+        return concat(block(n, [t1], highlight=1), right)
+
+    terms: list[Regex] = []
+
+    # --- Horizontal checks: one highlight at the left tile of the pair ---
+    mid_pairs = [h_pair(t1, t2) for t1, t2 in h_pairs]
+    if mid_pairs:
+        # generic: highlight neither at the first block nor ending at the last
+        terms.append(concat(first_u, u_star, union(*mid_pairs), u_star, last_u))
+    start_pairs = [h_pair(t_start, t2) for t1, t2 in h_pairs if t1 == t_start]
+    if start_pairs:
+        # highlight at the very first block
+        terms.append(concat(union(*start_pairs), u_star, last_u))
+    end_pairs = [h_pair(t1, t_final, t2_last=True) for t1, t2 in h_pairs if t2 == t_final]
+    if end_pairs:
+        # the pair's right tile is the last block
+        terms.append(concat(first_u, u_star, union(*end_pairs)))
+    if (t_start, t_final) in system.horizontal:
+        # two-block word: first highlighted, second last
+        terms.append(h_pair(t_start, t_final, t2_last=True))
+
+    # --- Vertical checks: two highlights, 2^n blocks apart ---
+    def v_pair(t1: str, t2: str) -> Regex:
+        return concat(
+            block(n, [t1], highlight=1), u_star, block(n, [t2], highlight=1)
+        )
+
+    mid_v = [v_pair(t1, t2) for t1, t2 in v_pairs]
+    if mid_v:
+        terms.append(concat(first_u, u_star, union(*mid_v), u_star, last_u))
+    start_v = [
+        concat(first_h, u_star, block(n, [t2], highlight=1))
+        for t1, t2 in v_pairs
+        if t1 == t_start
+    ]
+    if start_v:
+        terms.append(concat(union(*start_v), u_star, last_u))
+    end_v = [
+        concat(block(n, [t1], highlight=1), u_star, last_h)
+        for t1, t2 in v_pairs
+        if t2 == t_final
+    ]
+    if end_v:
+        terms.append(concat(first_u, u_star, union(*end_v)))
+
+    if not terms:
+        # No adjacency pair is ever allowed: no good word is acceptable.
+        from ..regex.ast import EMPTY
+
+        return EMPTY
+    return union(*terms)

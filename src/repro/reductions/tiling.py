@@ -1,0 +1,139 @@
+"""Tiling systems and a brute-force solver (Section 3.2 substrate).
+
+The paper's lower bounds reduce from *corridor tiling* problems: a tiling
+system is a finite set of tile types with horizontal and vertical adjacency
+relations, and the question is whether a ``width x k`` region (for some
+``k``) can be tiled with distinguished corner tiles — EXPSPACE-complete for
+width ``2^n`` (Theorem 3.3) and 2EXPSPACE-complete for width ``2^(2^n)``
+with border constraints (Theorem 3.5).
+
+The brute-force solver here decides tiny instances exactly; the tests use
+it as the ground truth against which the regular-expression reductions are
+validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, Sequence
+
+__all__ = ["TilingSystem", "solve_corridor_tiling", "is_valid_tiling"]
+
+Tile = str
+
+
+@dataclass(frozen=True)
+class TilingSystem:
+    """Tile types with horizontal/vertical adjacency relations.
+
+    ``horizontal`` contains the allowed pairs ``(left, right)`` of tiles
+    adjacent within a row; ``vertical`` the allowed pairs ``(below, above)``
+    of vertically adjacent tiles (row ``r`` below row ``r+1``).
+    """
+
+    tiles: tuple[Tile, ...]
+    horizontal: frozenset[tuple[Tile, Tile]]
+    vertical: frozenset[tuple[Tile, Tile]]
+    t_start: Tile = field(default="")
+    t_final: Tile = field(default="")
+    t_left: Tile = field(default="")  # left-border tile (Theorem 3.5)
+    t_right: Tile = field(default="")  # right-border tile (Theorem 3.5)
+
+    def __post_init__(self) -> None:
+        if len(set(self.tiles)) != len(self.tiles):
+            raise ValueError("duplicate tile types")
+        tile_set = set(self.tiles)
+        for name, relation in (("horizontal", self.horizontal), ("vertical", self.vertical)):
+            for left, right in relation:
+                if left not in tile_set or right not in tile_set:
+                    raise ValueError(f"{name} relation mentions unknown tiles: {(left, right)}")
+        for corner in (self.t_start, self.t_final, self.t_left, self.t_right):
+            if corner and corner not in tile_set:
+                raise ValueError(f"corner tile {corner!r} is not a tile type")
+
+    def h_ok(self, left: Tile, right: Tile) -> bool:
+        return (left, right) in self.horizontal
+
+    def v_ok(self, below: Tile, above: Tile) -> bool:
+        return (below, above) in self.vertical
+
+
+def is_valid_tiling(
+    system: TilingSystem,
+    rows: Sequence[Sequence[Tile]],
+    width: int,
+    check_corners: bool = True,
+) -> bool:
+    """Is ``rows`` a valid ``width x len(rows)`` tiling of the system?
+
+    Row 0 is the *bottom* row (the paper places the start tile at position
+    (0, 0), the bottom-left corner, and the final tile at the top-right).
+    """
+    if not rows or any(len(row) != width for row in rows):
+        return False
+    tile_set = set(system.tiles)
+    for row in rows:
+        if any(tile not in tile_set for tile in row):
+            return False
+        for left, right in zip(row, row[1:]):
+            if not system.h_ok(left, right):
+                return False
+    for below_row, above_row in zip(rows, rows[1:]):
+        for below, above in zip(below_row, above_row):
+            if not system.v_ok(below, above):
+                return False
+    if check_corners:
+        if system.t_start and rows[0][0] != system.t_start:
+            return False
+        if system.t_final and rows[-1][-1] != system.t_final:
+            return False
+    return True
+
+
+def solve_corridor_tiling(
+    system: TilingSystem, width: int, max_rows: int
+) -> list[list[Tile]] | None:
+    """Find a valid ``width x k`` tiling with ``1 <= k <= max_rows``.
+
+    Exhaustive search with row-by-row extension: enumerate rows consistent
+    horizontally, then chain them under the vertical relation.  Exponential
+    in ``width`` — adequate for the tiny instances the tests use.
+    """
+    rows = list(_enumerate_rows(system, width))
+    if not rows:
+        return None
+    start_rows = [
+        row for row in rows if not system.t_start or row[0] == system.t_start
+    ]
+    final_ok = lambda row: not system.t_final or row[-1] == system.t_final
+
+    # Breadth-first over row sequences, deduplicating on the frontier row
+    # (only the last row constrains extensions).
+    frontier: dict[tuple[Tile, ...], list[list[Tile]]] = {}
+    for row in start_rows:
+        if final_ok(row):
+            return [list(row)]
+        frontier.setdefault(row, [list(row)])
+    for _depth in range(1, max_rows):
+        next_frontier: dict[tuple[Tile, ...], list[list[Tile]]] = {}
+        for below, stack in frontier.items():
+            for above in rows:
+                if all(
+                    system.v_ok(b, a) for b, a in zip(below, above)
+                ):
+                    if final_ok(above):
+                        return stack + [list(above)]
+                    if above not in next_frontier:
+                        next_frontier[above] = stack + [list(above)]
+        frontier = next_frontier
+        if not frontier:
+            return None
+    return None
+
+
+def _enumerate_rows(system: TilingSystem, width: int) -> Iterator[tuple[Tile, ...]]:
+    """All horizontally consistent rows of the given width."""
+    for row in product(system.tiles, repeat=width):
+        if all(system.h_ok(left, right) for left, right in zip(row, row[1:])):
+            yield row

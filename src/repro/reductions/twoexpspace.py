@@ -1,0 +1,231 @@
+"""Theorem 3.5: building blocks of the 2EXPSPACE-hardness reduction.
+
+The reduction maps a width-``2^(2^n)`` corridor tiling problem (with border
+tiles ``tL`` / ``tR`` and corner tiles ``tS`` / ``tF``) to the question of
+whether an *exact* rewriting exists.  Its ingredients, implemented here
+literally from the paper:
+
+* the doubly-exponential *yardstick*: the counter word ``w_C`` of
+  Theorem 3.4, whose expressions are reused with every block
+  sub-expression widened by ``+ Delta`` (``E0^{C Delta}``), so that the
+  counter machinery coexists with tile symbols;
+* the error-detecting expressions ``E0^V, E0^H, E0^S, E0^F, E0^L, E0^R``
+  over ``Sigma = Sigma^C + ~Delta + Delta``: their rewritings generate
+  exactly the candidate tilings that exhibit a vertical / horizontal /
+  start / final / left-border / right-border error;
+* the top-level instance ``E0 = E0^1 + Delta*`` with views
+  ``re(e) = re_C(e) + Delta`` for counter symbols and
+  ``re(~t) = ~t + t`` for tile symbols.
+
+If no tiling exists every candidate has an error and the maximal rewriting
+of ``E0^1`` already covers ``Delta*``, making the rewriting exact; a valid
+tiling is a ``Delta``-word no rewriting can produce, so the rewriting is
+not exact (the paper's Theorem 3.5).  The full decision procedure is
+doubly-exponential even for ``n = 1`` (rows of length ``1 + 2*2^(2^1)``),
+so the test-suite validates the *components*: sizes are polynomial in
+``n``, and the expansion claims ("``exp(w) subseteq L(E0^X)`` precisely
+when ``w`` has the stated form") are checked word-by-word for the
+tractable expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.alphabet import ViewSet
+from ..regex.ast import Regex, any_of, concat, star, sym, union
+from .blocks import (
+    bits,
+    block_view_expr,
+    counter_bad_conditions,
+    highlight_bad_conditions,
+    MARKER,
+)
+from .counter import COUNTER_SYMBOLS, _build_e_good
+from .tiling import TilingSystem
+
+__all__ = ["TwoExpspaceReduction", "twoexpspace_reduction", "tilde"]
+
+
+def tilde(tile: str) -> str:
+    """The marked copy ``~t`` of a tile symbol."""
+    return f"~{tile}"
+
+
+@dataclass
+class TwoExpspaceReduction:
+    """The Theorem 3.5 instance with all intermediate expressions."""
+
+    system: TilingSystem
+    n: int
+    e0: Regex
+    views: ViewSet
+    e0_counter_delta: Regex  # E0^{C Delta}: the +Delta-widened yardstick
+    e_v: Regex
+    e_h: Regex
+    e_s: Regex
+    e_f: Regex
+    e_l: Regex
+    e_r: Regex
+
+    @property
+    def row_length(self) -> int:
+        """``1 + 2^n * 2^(2^n)`` — symbols per encoded tiling row."""
+        width = 2 ** self.n
+        return 1 + width * 2 ** width
+
+
+def twoexpspace_reduction(system: TilingSystem, n: int) -> TwoExpspaceReduction:
+    """Build the Theorem 3.5 instance for ``system`` and ``n >= 1``.
+
+    ``system`` must designate the four distinguished tiles: ``t_start``
+    (bottom-left), ``t_final`` (top-right); the left/right border tiles are
+    taken to be the first two tiles whose pair closes rows, i.e. the caller
+    provides them via the ``TilingSystem`` as the tiles named in
+    ``system.t_start``/``system.t_final`` plus the ``tL``/``tR`` convention
+    below: the reduction requires ``(tR, tL)`` to be horizontally allowed.
+    """
+    if n < 1:
+        raise ValueError("the construction needs n >= 1")
+    tiles = list(system.tiles)
+    delta = any_of(tiles)
+    delta_c = list(COUNTER_SYMBOLS)
+
+    # --- The yardstick E0^{C Delta}: counter expressions, blocks + Delta ---
+    bad_terms = counter_bad_conditions(n, delta_c, extra=delta)
+    bad_terms.extend(highlight_bad_conditions(n, delta_c, extra=delta))
+    # Good-side expressions widened the same way: every block alternative
+    # gains "+ Delta".  We rebuild them via the counter module's generator,
+    # then widen mechanically.
+    good = _build_e_good(n)
+    e0_cd = union(union(*bad_terms), _widen_blocks(good, n, delta))
+
+    # --- Block alphabet pieces ---
+    b_c = concat(sym(MARKER), bits(3 * n + 1), any_of(delta_c))  # B^C
+    b_c_delta = union(b_c, delta)
+    b_c_delta_star = star(b_c_delta)
+
+    def tile_or_tilde(tile: str) -> Regex:
+        return union(sym(tilde(tile)), sym(tile))
+
+    # --- Error detectors ---
+    v_bad_pairs = [
+        (t1, t2)
+        for t1 in tiles
+        for t2 in tiles
+        if (t1, t2) not in system.vertical
+    ]
+    e_v = concat(
+        b_c_delta_star,
+        union(
+            *(
+                concat(
+                    tile_or_tilde(t1), b_c_delta, e0_cd, tile_or_tilde(t2)
+                )
+                for t1, t2 in v_bad_pairs
+            )
+        )
+        if v_bad_pairs
+        else _empty(),
+        b_c_delta_star,
+    )
+
+    h_bad_pairs = [
+        (t1, t2)
+        for t1 in tiles
+        for t2 in tiles
+        if (t1, t2) not in system.horizontal
+    ]
+    e_h = concat(
+        b_c_delta_star,
+        union(
+            *(
+                concat(tile_or_tilde(t1), tile_or_tilde(t2))
+                for t1, t2 in h_bad_pairs
+            )
+        )
+        if h_bad_pairs
+        else _empty(),
+        b_c_delta_star,
+    )
+
+    e_s = concat(
+        union(*(tile_or_tilde(t) for t in tiles if t != system.t_start)),
+        b_c_delta_star,
+    )
+    e_f = concat(
+        star(concat(b_c_delta, e0_cd)),
+        e0_cd,
+        union(*(tile_or_tilde(t) for t in tiles if t != system.t_final)),
+    )
+    t_left = system.t_left or system.t_start
+    t_right = system.t_right or system.t_final
+    e_l = concat(
+        star(concat(b_c_delta, e0_cd)),
+        b_c_delta,
+        e0_cd,
+        union(*(tile_or_tilde(t) for t in tiles if t != t_left)),
+        b_c_delta_star,
+    )
+    e_r = concat(
+        star(concat(b_c_delta, e0_cd)),
+        e0_cd,
+        union(*(tile_or_tilde(t) for t in tiles if t != t_right)),
+        b_c_delta,
+        b_c_delta_star,
+    )
+
+    e0_1 = union(e_v, e_h, e_s, e_f, e_l, e_r)
+    e0 = union(e0_1, star(delta))
+
+    views: dict[str, Regex] = {}
+    for symbol in delta_c:
+        views[symbol] = union(block_view_expr(n, symbol), delta)
+    for tile in tiles:
+        views[tilde(tile)] = union(sym(tilde(tile)), sym(tile))
+    return TwoExpspaceReduction(
+        system=system,
+        n=n,
+        e0=e0,
+        views=ViewSet(views),
+        e0_counter_delta=e0_cd,
+        e_v=e_v,
+        e_h=e_h,
+        e_s=e_s,
+        e_f=e_f,
+        e_l=e_l,
+        e_r=e_r,
+    )
+
+
+def _widen_blocks(expr: Regex, n: int, delta: Regex) -> Regex:
+    """Add ``+ Delta`` to every block sub-expression of a counter regex.
+
+    The counter's good-side expressions are concatenations/unions/stars of
+    block patterns, each of which is a ``Concat`` starting with the ``$``
+    marker (fixed length 3n+3).  Those sub-terms — and only those — receive
+    the ``+ Delta`` alternative, following the paper's note that ``E0^C``
+    "is composed of subexpressions that generate words of length 3n+3".
+    """
+    from ..regex.ast import Concat, EmptySet, Epsilon, Star, Symbol, Union
+
+    def widen(node: Regex) -> Regex:
+        if isinstance(node, Concat):
+            if node.parts and node.parts[0] == sym(MARKER):
+                return union(node, delta)
+            return concat(*(widen(part) for part in node.parts))
+        if isinstance(node, Union):
+            return union(*(widen(part) for part in node.parts))
+        if isinstance(node, Star):
+            return star(widen(node.inner))
+        if isinstance(node, (Symbol, Epsilon, EmptySet)):
+            return node
+        raise TypeError(f"unknown Regex node: {node!r}")
+
+    return widen(expr)
+
+
+def _empty() -> Regex:
+    from ..regex.ast import EMPTY
+
+    return EMPTY

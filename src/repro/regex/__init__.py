@@ -1,0 +1,63 @@
+"""Regular-expression toolkit: AST, parser, printer, derivatives, simplifier.
+
+This package is the expression-level substrate of the library.  Expressions
+are alphabet-generic (symbols are arbitrary hashable objects), which lets the
+same machinery serve the base alphabet Sigma, the view alphabet Sigma_E of
+Section 2, and formula alphabets of Section 4.
+"""
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    any_of,
+    bounded_repeat,
+    concat,
+    option,
+    plus,
+    power,
+    star,
+    sym,
+    union,
+    word,
+)
+from .derivatives import derivative, matches, nullable, word_derivative
+from .parser import RegexSyntaxError, parse
+from .printer import to_string
+from .simplify import simplify
+
+__all__ = [
+    "Regex",
+    "EmptySet",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "EMPTY",
+    "EPSILON",
+    "sym",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "option",
+    "power",
+    "word",
+    "any_of",
+    "bounded_repeat",
+    "parse",
+    "RegexSyntaxError",
+    "to_string",
+    "simplify",
+    "nullable",
+    "derivative",
+    "word_derivative",
+    "matches",
+]

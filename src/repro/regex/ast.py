@@ -1,0 +1,305 @@
+"""Abstract syntax trees for regular expressions.
+
+The paper manipulates regular expressions over arbitrary finite alphabets: the
+base alphabet Sigma of a query, the view alphabet Sigma_E whose symbols stand
+for whole regular languages, and alphabets of first-order formulae in the
+regular-path-query setting (Section 4).  Symbols are therefore arbitrary
+hashable Python objects, not just single characters.
+
+All nodes are immutable and hashable, so they can be used as dictionary keys
+(e.g. in Brzozowski-derivative DFA construction) and deduplicated freely.
+
+The *smart constructors* :func:`concat`, :func:`union`, :func:`star`,
+:func:`plus` and :func:`option` apply cheap local algebraic simplifications
+(identity/annihilator laws, flattening, idempotence) so that programmatically
+assembled expressions — in particular the large unions produced by the
+lower-bound constructions of Section 3.2 — stay readable and small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+__all__ = [
+    "Regex",
+    "EmptySet",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "EMPTY",
+    "EPSILON",
+    "sym",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "option",
+    "power",
+    "word",
+    "any_of",
+    "bounded_repeat",
+]
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for all regular-expression nodes."""
+
+    def alphabet(self) -> frozenset[Hashable]:
+        """Return the set of symbols occurring in this expression."""
+        return frozenset(self.iter_symbols())
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        """Yield every symbol occurrence (with repetition) in the tree."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of AST nodes; the paper's notion of expression size."""
+        raise NotImplementedError
+
+    # Operator sugar: e1 + e2 is union, e1 * e2 is concatenation.
+    def __add__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __mul__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def star(self) -> "Regex":
+        return star(self)
+
+    def is_empty_set(self) -> bool:
+        return isinstance(self, EmptySet)
+
+    def is_epsilon(self) -> bool:
+        return isinstance(self, Epsilon)
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from .printer import to_string
+
+        return to_string(self)
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The regular expression denoting the empty language."""
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        return iter(())
+
+    def size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return "EmptySet()"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The regular expression denoting the language {epsilon}."""
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        return iter(())
+
+    def size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single alphabet symbol.
+
+    ``symbol`` may be any hashable object: a character, a multi-character
+    name such as ``"restaurant"``, a view symbol, or a formula object in the
+    RPQ setting.
+    """
+
+    symbol: Hashable
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        yield self.symbol
+
+    def size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.symbol!r})"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more factors (flattened, in order)."""
+
+    parts: tuple[Regex, ...]
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        for part in self.parts:
+            yield from part.iter_symbols()
+
+    def size(self) -> int:
+        return 1 + sum(part.size() for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Concat({', '.join(map(repr, self.parts))})"
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union of two or more alternatives (flattened, deduplicated)."""
+
+    parts: tuple[Regex, ...]
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        for part in self.parts:
+            yield from part.iter_symbols()
+
+    def size(self) -> int:
+        return 1 + sum(part.size() for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Union({', '.join(map(repr, self.parts))})"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure."""
+
+    inner: Regex
+
+    def iter_symbols(self) -> Iterator[Hashable]:
+        yield from self.inner.iter_symbols()
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+    def __repr__(self) -> str:
+        return f"Star({self.inner!r})"
+
+
+EMPTY = EmptySet()
+EPSILON = Epsilon()
+
+
+def sym(symbol: Hashable) -> Symbol:
+    """Build a :class:`Symbol` node (accepts any hashable symbol)."""
+    if isinstance(symbol, Regex):
+        raise TypeError(f"sym() expects a plain symbol, got a Regex: {symbol!r}")
+    return Symbol(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenate expressions, applying local simplifications.
+
+    Laws applied: ``empty . e = empty``, ``eps . e = e``, associativity
+    (flattening nested concatenations).
+    """
+    flat: list[Regex] = []
+    for part in parts:
+        _check_regex(part)
+        if isinstance(part, EmptySet):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Regex) -> Regex:
+    """Union of expressions, applying local simplifications.
+
+    Laws applied: ``empty + e = e``, associativity/commutativity only to the
+    extent of flattening and duplicate removal (order of first occurrence is
+    preserved so printed output matches the input's shape).
+    """
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    has_epsilon = False
+    for part in parts:
+        _check_regex(part)
+        if isinstance(part, EmptySet):
+            continue
+        candidates = part.parts if isinstance(part, Union) else (part,)
+        for cand in candidates:
+            if isinstance(cand, Epsilon):
+                has_epsilon = True
+            if cand not in seen:
+                seen.add(cand)
+                flat.append(cand)
+    # eps + e* = e*  (epsilon already contained in any starred alternative)
+    if has_epsilon and any(isinstance(p, Star) for p in flat):
+        flat = [p for p in flat if not isinstance(p, Epsilon)]
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with local simplifications.
+
+    Laws applied: ``empty* = eps``, ``eps* = eps``, ``(e*)* = e*``,
+    ``(eps + e)* = e*``.
+    """
+    _check_regex(inner)
+    if isinstance(inner, (EmptySet, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Union):
+        without_eps = tuple(p for p in inner.parts if not isinstance(p, Epsilon))
+        if len(without_eps) != len(inner.parts):
+            return star(union(*without_eps))
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """One-or-more repetitions, expressed as ``e . e*``."""
+    return concat(inner, star(inner))
+
+
+def option(inner: Regex) -> Regex:
+    """Zero-or-one occurrences, expressed as ``eps + e``."""
+    return union(EPSILON, inner)
+
+
+def power(inner: Regex, n: int) -> Regex:
+    """Exactly ``n`` repetitions of ``inner`` (``n >= 0``)."""
+    if n < 0:
+        raise ValueError(f"power() needs n >= 0, got {n}")
+    return concat(*([inner] * n))
+
+
+def word(symbols: Iterable[Hashable]) -> Regex:
+    """The expression denoting the single word given by ``symbols``."""
+    return concat(*(sym(s) for s in symbols))
+
+
+def any_of(symbols: Iterable[Hashable]) -> Regex:
+    """Union of single symbols — e.g. the paper's ``Delta`` or ``(0+1)``."""
+    return union(*(sym(s) for s in symbols))
+
+
+def bounded_repeat(inner: Regex, low: int, high: int) -> Regex:
+    """Between ``low`` and ``high`` repetitions of ``inner``."""
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+    alternatives = [power(inner, n) for n in range(low, high + 1)]
+    return union(*alternatives)
+
+
+def _check_regex(value: object) -> None:
+    if not isinstance(value, Regex):
+        raise TypeError(f"expected a Regex, got {type(value).__name__}: {value!r}")

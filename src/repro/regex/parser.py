@@ -1,0 +1,203 @@
+"""Parser for regular expressions in the paper's concrete syntax.
+
+Grammar (whitespace-insensitive)::
+
+    union   :=  concat ('+' concat)*
+    concat  :=  factor (('.' factor) | factor)*      # '.' optional
+    factor  :=  atom ('*' | '?')*
+    atom    :=  SYMBOL | QUOTED | '%eps' | '%empty' | '(' union ')'
+
+Notes on symbols:
+
+* A ``SYMBOL`` token is a maximal run of identifier characters
+  (``[A-Za-z0-9_$]``), so multi-character names such as ``rome`` or
+  ``restaurant`` — used throughout the paper's examples — denote a *single*
+  alphabet symbol.  Concatenation of named symbols is written explicitly:
+  ``rome.restaurant`` or ``rome restaurant``.
+* ``'...'``-quoted tokens allow arbitrary string symbols.
+* ``%eps`` (also the Unicode ``ε``) is the empty word, ``%empty`` (also
+  ``∅``) the empty language.
+* The middle dot ``·`` used in the paper's typesetting is accepted as a
+  synonym for ``.``.
+
+The parser and :func:`repro.regex.printer.to_string` round-trip: parsing the
+printed form of an expression yields an equal AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import EMPTY, EPSILON, Regex, concat, option, star, sym, union
+
+__all__ = ["parse", "RegexSyntaxError"]
+
+_IDENTIFIER_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when the input is not a well-formed regular expression."""
+
+    def __init__(self, message: str, position: int, text: str):
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.position = position
+        self.text = text
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'symbol', 'eps', 'empty', '(', ')', '+', '.', '*', '?', 'end'
+    value: str
+    position: int
+
+
+def parse(text: str) -> Regex:
+    """Parse ``text`` into a :class:`~repro.regex.ast.Regex`."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    expr = parser.parse_union()
+    parser.expect("end")
+    return expr
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()+*?":
+            tokens.append(_Token(ch, ch, i))
+            i += 1
+            continue
+        if ch in ".·":  # '.' or middle dot
+            tokens.append(_Token(".", ch, i))
+            i += 1
+            continue
+        if ch == "ε":  # epsilon
+            tokens.append(_Token("eps", ch, i))
+            i += 1
+            continue
+        if ch == "∅":  # empty set
+            tokens.append(_Token("empty", ch, i))
+            i += 1
+            continue
+        if ch == "%":
+            for keyword, kind in (("%eps", "eps"), ("%empty", "empty")):
+                if text.startswith(keyword, i):
+                    tokens.append(_Token(kind, keyword, i))
+                    i += len(keyword)
+                    break
+            else:
+                raise RegexSyntaxError("unknown %-keyword", i, text)
+            continue
+        if ch == "'":
+            value, i_next = _read_quoted(text, i)
+            tokens.append(_Token("symbol", value, i))
+            i = i_next
+            continue
+        if ch in _IDENTIFIER_CHARS:
+            j = i
+            while j < n and text[j] in _IDENTIFIER_CHARS:
+                j += 1
+            tokens.append(_Token("symbol", text[i:j], i))
+            i = j
+            continue
+        raise RegexSyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(_Token("end", "", n))
+    return tokens
+
+
+def _read_quoted(text: str, start: int) -> tuple[str, int]:
+    chars: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                raise RegexSyntaxError("dangling escape", i, text)
+            chars.append(text[i + 1])
+            i += 2
+            continue
+        if ch == "'":
+            return "".join(chars), i + 1
+        chars.append(ch)
+        i += 1
+    raise RegexSyntaxError("unterminated quoted symbol", start, text)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise RegexSyntaxError(
+                f"expected {kind!r}, found {self.current.kind!r}",
+                self.current.position,
+                self._text,
+            )
+        return self.advance()
+
+    def parse_union(self) -> Regex:
+        parts = [self.parse_concat()]
+        while self.current.kind == "+":
+            self.advance()
+            parts.append(self.parse_concat())
+        return union(*parts)
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_factor()]
+        while True:
+            if self.current.kind == ".":
+                self.advance()
+                parts.append(self.parse_factor())
+            elif self.current.kind in ("symbol", "eps", "empty", "("):
+                parts.append(self.parse_factor())
+            else:
+                break
+        return concat(*parts)
+
+    def parse_factor(self) -> Regex:
+        expr = self.parse_atom()
+        while self.current.kind in ("*", "?"):
+            token = self.advance()
+            expr = star(expr) if token.kind == "*" else option(expr)
+        return expr
+
+    def parse_atom(self) -> Regex:
+        token = self.current
+        if token.kind == "symbol":
+            self.advance()
+            return sym(token.value)
+        if token.kind == "eps":
+            self.advance()
+            return EPSILON
+        if token.kind == "empty":
+            self.advance()
+            return EMPTY
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_union()
+            self.expect(")")
+            return expr
+        raise RegexSyntaxError(
+            f"expected an atom, found {token.kind!r}", token.position, self._text
+        )

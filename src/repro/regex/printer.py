@@ -1,0 +1,70 @@
+"""Pretty-printing of regular expressions in the paper's notation.
+
+The paper writes union as ``+``, concatenation as ``.`` and Kleene closure as
+a postfix ``*`` (typeset as a superscript ``g`` in the scanned text).  We
+print exactly that concrete syntax, which :mod:`repro.regex.parser` parses
+back, giving a round-trip property that the test suite checks.
+
+Symbols that are not plain identifier-like strings are quoted with single
+quotes so that arbitrary hashable symbols survive the round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+
+__all__ = ["to_string", "symbol_to_string"]
+
+# Precedence levels: union < concat < star/atom.
+_PREC_UNION = 0
+_PREC_CONCAT = 1
+_PREC_ATOM = 2
+
+_IDENTIFIER_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+
+def symbol_to_string(symbol: Hashable) -> str:
+    """Render a single alphabet symbol.
+
+    Identifier-like strings print bare (``a``, ``restaurant``, ``$``); any
+    other symbol is printed quoted, with backslash escapes for quotes, so it
+    can be re-parsed unambiguously.
+    """
+    text = symbol if isinstance(symbol, str) else repr(symbol)
+    if text and all(ch in _IDENTIFIER_CHARS for ch in text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def to_string(expr: Regex) -> str:
+    """Render ``expr`` in the paper's concrete syntax."""
+    return _render(expr, _PREC_UNION)
+
+
+def _render(expr: Regex, context_prec: int) -> str:
+    if isinstance(expr, EmptySet):
+        return "%empty"
+    if isinstance(expr, Epsilon):
+        return "%eps"
+    if isinstance(expr, Symbol):
+        return symbol_to_string(expr.symbol)
+    if isinstance(expr, Star):
+        return _render(expr.inner, _PREC_ATOM) + "*"
+    if isinstance(expr, Concat):
+        body = ".".join(_render(part, _PREC_CONCAT) for part in expr.parts)
+        return _parenthesize(body, _PREC_CONCAT, context_prec)
+    if isinstance(expr, Union):
+        body = "+".join(_render(part, _PREC_UNION + 1) for part in expr.parts)
+        return _parenthesize(body, _PREC_UNION, context_prec)
+    raise TypeError(f"unknown Regex node: {expr!r}")
+
+
+def _parenthesize(body: str, own_prec: int, context_prec: int) -> str:
+    if own_prec < context_prec:
+        return f"({body})"
+    return body

@@ -1,0 +1,67 @@
+"""Random generation of regular expressions for testing and benchmarks.
+
+The generator produces expressions with a controllable node budget and
+alphabet.  It is used by the property-based tests (as a complement to
+hypothesis strategies) and by the scaling benchmarks, where reproducibility
+matters: all randomness flows through an explicit :class:`random.Random`
+instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from .ast import EPSILON, Regex, concat, star, sym, union
+
+__all__ = ["random_regex", "random_word"]
+
+
+def random_regex(
+    rng: random.Random,
+    alphabet: Sequence[Hashable],
+    max_size: int = 12,
+    star_probability: float = 0.2,
+    epsilon_probability: float = 0.05,
+) -> Regex:
+    """Generate a random regular expression over ``alphabet``.
+
+    ``max_size`` bounds the number of leaves; the expression may be smaller
+    after smart-constructor simplification.  The distribution is biased
+    towards small unions/concatenations with occasional stars, which is the
+    regime where the rewriting algorithm has interesting behaviour (deep star
+    nesting mostly produces universal-ish languages).
+    """
+    if not alphabet:
+        raise ValueError("alphabet must be non-empty")
+    return _generate(rng, alphabet, max(1, max_size), star_probability, epsilon_probability)
+
+
+def _generate(
+    rng: random.Random,
+    alphabet: Sequence[Hashable],
+    budget: int,
+    star_p: float,
+    eps_p: float,
+) -> Regex:
+    if budget <= 1:
+        if rng.random() < eps_p:
+            return EPSILON
+        return sym(rng.choice(alphabet))
+    choice = rng.random()
+    if choice < star_p:
+        return star(_generate(rng, alphabet, budget - 1, star_p, eps_p))
+    split = rng.randint(1, budget - 1)
+    left = _generate(rng, alphabet, split, star_p, eps_p)
+    right = _generate(rng, alphabet, budget - split, star_p, eps_p)
+    if choice < star_p + (1.0 - star_p) / 2.0:
+        return concat(left, right)
+    return union(left, right)
+
+
+def random_word(
+    rng: random.Random, alphabet: Sequence[Hashable], max_length: int = 8
+) -> tuple[Hashable, ...]:
+    """Generate a random word over ``alphabet`` of length ``<= max_length``."""
+    length = rng.randint(0, max_length)
+    return tuple(rng.choice(alphabet) for _ in range(length))

@@ -1,0 +1,126 @@
+"""Algebraic simplification of regular expressions.
+
+The state-elimination procedure (:mod:`repro.automata.state_elim`) produces
+syntactically heavy expressions; this module normalizes them with sound
+rewrite rules so that library output (e.g. the rewriting ``e2*.e1.e3*`` of the
+paper's Example 2.3) is as readable as the paper's own notation.
+
+All rules preserve the denoted language exactly:
+
+* identity / annihilator laws (already applied by the smart constructors);
+* ``e + e = e`` and subsumption ``e + e* = e*`` for identical bodies;
+* ``eps + e.e* = e*`` and ``eps + e*.e = e*`` (unrolled-star folding);
+* ``(e.e*)* = e*`` and ``(e*.e)* = e*``;
+* ``e*.e* = e*``;
+* ``(e + eps)* = e*`` (via the smart constructors);
+* common prefix/suffix factoring is *not* applied (it can grow the term).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    star,
+    union,
+)
+
+__all__ = ["simplify"]
+
+
+def simplify(expr: Regex) -> Regex:
+    """Return a simplified expression denoting the same language."""
+    previous = None
+    current = expr
+    # Iterate to a fixed point; each pass is a single bottom-up rewrite.
+    while current != previous:
+        previous = current
+        current = _simplify_once(current)
+    return current
+
+
+def _simplify_once(expr: Regex) -> Regex:
+    if isinstance(expr, (EmptySet, Epsilon, Symbol)):
+        return expr
+    if isinstance(expr, Star):
+        inner = _simplify_once(expr.inner)
+        folded = _as_star_unrolling(inner)
+        if folded is not None:
+            return folded  # (e.e*)* == e*
+        return star(inner)
+    if isinstance(expr, Concat):
+        parts = [_simplify_once(part) for part in expr.parts]
+        parts = _fold_adjacent_stars(parts)
+        return concat(*parts)
+    if isinstance(expr, Union):
+        parts = [_simplify_once(part) for part in expr.parts]
+        parts = _drop_star_subsumed(parts)
+        parts = _fold_unrolled_star(parts)
+        return union(*parts)
+    raise TypeError(f"unknown Regex node: {expr!r}")
+
+
+def _fold_adjacent_stars(parts: list[Regex]) -> list[Regex]:
+    """Apply ``e*.e* = e*`` and ``e*.e.e* = e.e*``-preserving folds."""
+    result: list[Regex] = []
+    for part in parts:
+        if (
+            result
+            and isinstance(part, Star)
+            and isinstance(result[-1], Star)
+            and result[-1].inner == part.inner
+        ):
+            continue  # e* . e* == e*
+        result.append(part)
+    return result
+
+
+def _drop_star_subsumed(parts: list[Regex]) -> list[Regex]:
+    """Apply ``e + e* = e*`` and ``eps + e* = e*``."""
+    starred_bodies = {part.inner for part in parts if isinstance(part, Star)}
+    has_star = any(isinstance(part, Star) for part in parts)
+    kept: list[Regex] = []
+    for part in parts:
+        if part in starred_bodies:
+            continue
+        if isinstance(part, Epsilon) and has_star:
+            continue
+        kept.append(part)
+    return kept
+
+
+def _fold_unrolled_star(parts: list[Regex]) -> list[Regex]:
+    """Apply ``eps + e.e* = e*`` (and the mirrored ``eps + e*.e = e*``)."""
+    has_epsilon = any(isinstance(part, Epsilon) for part in parts)
+    if not has_epsilon:
+        return parts
+    for index, part in enumerate(parts):
+        folded = _as_star_unrolling(part)
+        if folded is not None:
+            new_parts = [p for i, p in enumerate(parts) if i != index]
+            new_parts = [p for p in new_parts if not isinstance(p, Epsilon)]
+            new_parts.insert(0, folded)
+            return new_parts
+    return parts
+
+
+def _as_star_unrolling(part: Regex) -> Regex | None:
+    """If ``part`` is ``e.e*`` or ``e*.e``, return ``e*``; else ``None``.
+
+    Concatenations are flattened, so ``e`` itself may span several parts:
+    ``a.b.(a.b)*`` is recognized as well.
+    """
+    if not isinstance(part, Concat) or len(part.parts) < 2:
+        return None
+    first, last = part.parts[0], part.parts[-1]
+    if isinstance(last, Star) and concat(*part.parts[:-1]) == last.inner:
+        return last
+    if isinstance(first, Star) and concat(*part.parts[1:]) == first.inner:
+        return first
+    return None

@@ -1,0 +1,71 @@
+"""Regular path queries over semi-structured data (Section 4 of the paper).
+
+Provides graph databases, RPQ evaluation, theories of edge formulae, and
+view-based rewriting/answering:
+
+* :class:`GraphDB` — edge-labelled graph databases;
+* :class:`RPQ` / :func:`evaluate` — queries and Definition 4.2 semantics;
+* :class:`Theory` + the formula classes — Section 4.1's decidable complete
+  theory T over the domain D;
+* :func:`rewrite_rpq` — the Section 4.2 rewriting algorithm (Theorem 4.2),
+  with the grounding-free product optimization and constant partitioning;
+* :func:`find_partial_rpq_rewritings` — Section 4.3 partial rewritings.
+"""
+
+from .answering import (
+    answer_with_views,
+    rewriting_is_complete_on,
+    rewriting_is_sound_on,
+)
+from .evaluation import ans, evaluate, evaluate_from
+from .formulas import TOP, And, Const, Formula, Not, Or, Pred, Top
+from .generalized import (
+    GeneralizedPathQuery,
+    GeneralizedRewriting,
+    evaluate_gpq,
+    rewrite_gpq,
+)
+from .graphdb import GraphDB, path_graph, random_graph
+from .partial import (
+    PartialRPQRewriting,
+    atomic_view_name,
+    find_partial_rpq_rewritings,
+)
+from .query import RPQ
+from .rewriting import STRATEGIES, RPQRewritingResult, rewrite_rpq
+from .theory import Theory
+from .views import RPQViews, view_graph
+
+__all__ = [
+    "GraphDB",
+    "path_graph",
+    "random_graph",
+    "GeneralizedPathQuery",
+    "GeneralizedRewriting",
+    "evaluate_gpq",
+    "rewrite_gpq",
+    "RPQ",
+    "evaluate",
+    "evaluate_from",
+    "ans",
+    "Formula",
+    "Const",
+    "Pred",
+    "And",
+    "Or",
+    "Not",
+    "Top",
+    "TOP",
+    "Theory",
+    "RPQViews",
+    "view_graph",
+    "rewrite_rpq",
+    "RPQRewritingResult",
+    "STRATEGIES",
+    "answer_with_views",
+    "rewriting_is_sound_on",
+    "rewriting_is_complete_on",
+    "PartialRPQRewriting",
+    "find_partial_rpq_rewritings",
+    "atomic_view_name",
+]

@@ -1,0 +1,127 @@
+"""Evaluation of regular path queries over graph databases (Definition 4.2).
+
+The answer ``ans(L, DB)`` is the set of node pairs ``(x, y)`` connected by a
+path whose label word belongs to ``L`` (after formula matching, in the
+theory-based approach).  Evaluation is the standard product-reachability
+construction: breadth-first search over (graph node, automaton state) pairs,
+started from every node — polynomial in both the database and the query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Union
+
+from ..automata.dfa import DFA
+from ..automata.nfa import NFA
+from .formulas import Formula
+from .graphdb import GraphDB
+from .query import RPQ, QuerySpec
+from .theory import Theory
+
+__all__ = ["evaluate", "ans", "evaluate_from"]
+
+Automaton = Union[NFA, DFA]
+Pair = tuple[Hashable, Hashable]
+
+
+def evaluate(
+    db: GraphDB, query: QuerySpec, theory: Theory | None = None
+) -> frozenset[Pair]:
+    """Evaluate an RPQ over ``db``; formulae require a ``theory``.
+
+    Returns all pairs ``(x, y)`` such that some path from ``x`` to ``y``
+    matches the query (Definition 4.2).
+    """
+    rpq = query if isinstance(query, RPQ) else RPQ(query)
+    matcher = _build_matcher(rpq.nfa(), theory)
+    return _product_reachability(db, rpq.nfa().without_epsilon(), matcher)
+
+
+def ans(language: Automaton, db: GraphDB) -> frozenset[Pair]:
+    """The paper's ``ans(alpha, DB)`` for a regular language over D."""
+    nfa = language.to_nfa() if isinstance(language, DFA) else language
+    return _product_reachability(
+        db, nfa.without_epsilon(), lambda symbol, label: symbol == label
+    )
+
+
+def evaluate_from(
+    db: GraphDB,
+    source: Hashable,
+    query: QuerySpec,
+    theory: Theory | None = None,
+) -> frozenset[Hashable]:
+    """Single-source variant: all ``y`` with ``(source, y)`` in the answer."""
+    rpq = query if isinstance(query, RPQ) else RPQ(query)
+    nfa = rpq.nfa().without_epsilon()
+    matcher = _build_matcher(rpq.nfa(), theory)
+    return frozenset(
+        y for x, y in _search_from(db, source, nfa, matcher)
+    )
+
+
+def _build_matcher(
+    nfa: NFA, theory: Theory | None
+) -> Callable[[Hashable, Hashable], bool]:
+    """Resolve the symbol-vs-edge-label matching discipline once."""
+    formula_symbols = [s for s in nfa.alphabet if isinstance(s, Formula)]
+    if formula_symbols and theory is None:
+        raise ValueError(
+            "query uses formulae; a Theory is required to evaluate it"
+        )
+    if not formula_symbols:
+        return lambda symbol, label: symbol == label
+    satisfying = {phi: theory.satisfying(phi) for phi in formula_symbols}
+
+    def matcher(symbol: Hashable, label: Hashable) -> bool:
+        if isinstance(symbol, Formula):
+            return label in satisfying[symbol]
+        return symbol == label
+
+    return matcher
+
+
+def _product_reachability(
+    db: GraphDB, nfa: NFA, matcher: Callable[[Hashable, Hashable], bool]
+) -> frozenset[Pair]:
+    answers: set[Pair] = set()
+    for source in db.nodes:
+        answers.update(_search_from(db, source, nfa, matcher))
+    return frozenset(answers)
+
+
+def _search_from(
+    db: GraphDB,
+    source: Hashable,
+    nfa: NFA,
+    matcher: Callable[[Hashable, Hashable], bool],
+) -> set[Pair]:
+    """BFS of the (node, state) product from one source node."""
+    if source not in db.nodes:
+        raise KeyError(f"unknown node {source!r}")
+    answers: set[Pair] = set()
+    start = {(source, state) for state in nfa.initials}
+    seen = set(start)
+    queue: deque[tuple[Hashable, int]] = deque(start)
+    for _node, state in start:
+        if state in nfa.finals:
+            answers.add((source, source))
+    while queue:
+        node, state = queue.popleft()
+        row = nfa.transitions_from(state)
+        if not row:
+            continue
+        for label, target_node in db.out_edges(node):
+            for symbol, next_states in row.items():
+                if not matcher(symbol, label):
+                    continue
+                for next_state in next_states:
+                    pair = (target_node, next_state)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    if next_state in nfa.finals:
+                        answers.add((source, target_node))
+                    queue.append(pair)
+    return answers

@@ -1,0 +1,136 @@
+"""Semi-structured databases as edge-labelled graphs (Section 4.1).
+
+Following [BDFS97] and the paper, a database is a graph whose edges are
+labelled with elements of a finite domain ``D``.  Nodes are arbitrary
+hashable objects.  The graph is not required to be rooted or connected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator, Sequence
+
+__all__ = ["GraphDB", "random_graph", "path_graph"]
+
+Edge = tuple[Hashable, Hashable, Hashable]  # (source, label, target)
+
+
+class GraphDB:
+    """An edge-labelled directed graph database.
+
+    Parallel edges with different labels are allowed; duplicate (source,
+    label, target) triples are stored once.
+    """
+
+    def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Hashable] = ()):
+        self._nodes: set[Hashable] = set(nodes)
+        self._out: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._labels: set[Hashable] = set()
+        self._num_edges = 0
+        for source, label, target in edges:
+            self.add_edge(source, label, target)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        self._nodes.add(node)
+
+    def add_edge(self, source: Hashable, label: Hashable, target: Hashable) -> None:
+        """Add the edge ``source --label--> target`` (idempotent)."""
+        self._nodes.add(source)
+        self._nodes.add(target)
+        targets = self._out.setdefault(source, {}).setdefault(label, set())
+        if target not in targets:
+            targets.add(target)
+            self._num_edges += 1
+            self._labels.add(label)
+
+    def add_path(self, start: Hashable, labels: Sequence[Hashable], nodes: Sequence[Hashable]) -> None:
+        """Add a path ``start --labels[0]--> nodes[0] --labels[1]--> ...``."""
+        if len(labels) != len(nodes):
+            raise ValueError("need as many intermediate nodes as labels")
+        current = start
+        for label, node in zip(labels, nodes):
+            self.add_edge(current, label, node)
+            current = node
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[Hashable]:
+        return frozenset(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def domain(self) -> frozenset[Hashable]:
+        """The set of edge labels actually used (a subset of the domain D)."""
+        return frozenset(self._labels)
+
+    def successors(self, node: Hashable, label: Hashable) -> frozenset[Hashable]:
+        return frozenset(self._out.get(node, {}).get(label, ()))
+
+    def out_edges(self, node: Hashable) -> Iterator[tuple[Hashable, Hashable]]:
+        """Yield ``(label, target)`` pairs for edges leaving ``node``."""
+        for label, targets in self._out.get(node, {}).items():
+            for target in targets:
+                yield (label, target)
+
+    def edges(self) -> Iterator[Edge]:
+        for source, row in self._out.items():
+            for label, targets in row.items():
+                for target in targets:
+                    yield (source, label, target)
+
+    def has_path(self, source: Hashable, labels: Sequence[Hashable]) -> bool:
+        """Is there a path from ``source`` spelling exactly ``labels``?"""
+        frontier = {source}
+        for label in labels:
+            frontier = {
+                target for node in frontier for target in self.successors(node, label)
+            }
+            if not frontier:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"GraphDB(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def random_graph(
+    rng: random.Random,
+    num_nodes: int,
+    labels: Sequence[Hashable],
+    num_edges: int,
+) -> GraphDB:
+    """A random labelled graph with the given node/edge counts (seeded)."""
+    db = GraphDB()
+    node_names = [f"n{i}" for i in range(num_nodes)]
+    for node in node_names:
+        db.add_node(node)
+    for _ in range(num_edges):
+        db.add_edge(
+            rng.choice(node_names), rng.choice(labels), rng.choice(node_names)
+        )
+    return db
+
+
+def path_graph(labels: Sequence[Hashable]) -> GraphDB:
+    """The single-path database ``x0 --labels[0]--> x1 --...--> xn``.
+
+    The paper's Theorem 4.1 proof uses exactly these databases to relate
+    semantic and language-level rewriting.
+    """
+    db = GraphDB()
+    for i, label in enumerate(labels):
+        db.add_edge(f"x{i}", label, f"x{i + 1}")
+    if not labels:
+        db.add_node("x0")
+    return db

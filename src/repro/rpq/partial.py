@@ -1,0 +1,120 @@
+"""Partial rewritings of RPQs with added atomic views (Section 4.3).
+
+When ``R_{Q,Q0}`` is not exact, the paper extends ``Q`` with *atomic* views
+``lambda z. P(z)`` for predicates ``P`` of the theory; among these, the
+*elementary* views ``lambda z. z = a`` (one per constant) always suffice to
+reach exactness, so minimal extensions are the interesting output.
+
+The search enumerates candidate subsets in order of (total size, number of
+non-elementary views) — matching preference criteria 2 and 3 — and returns
+every minimal extension, packaged as preference-comparable candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable, Mapping
+
+from .formulas import Const, Pred
+from .query import RPQ, QuerySpec
+from .rewriting import RPQRewritingResult, RPQViews, rewrite_rpq, _as_rpq_views
+from .theory import Theory
+
+__all__ = ["PartialRPQRewriting", "find_partial_rpq_rewritings", "atomic_view_name"]
+
+
+def atomic_view_name(candidate: Hashable) -> str:
+    """The Sigma_Q symbol used for an added atomic view."""
+    if isinstance(candidate, Pred):
+        return f"q[{candidate.name}]"
+    return f"q[={candidate}]"
+
+
+@dataclass(frozen=True)
+class PartialRPQRewriting:
+    """An exact rewriting after adding atomic views.
+
+    ``added_predicates`` holds predicate names (non-elementary atomic
+    views); ``added_constants`` the constants of elementary views.
+    """
+
+    added_predicates: tuple[str, ...]
+    added_constants: tuple[Hashable, ...]
+    result: RPQRewritingResult
+
+    @property
+    def num_added(self) -> int:
+        return len(self.added_predicates) + len(self.added_constants)
+
+
+def find_partial_rpq_rewritings(
+    q0: QuerySpec,
+    views: RPQViews | Mapping[Hashable, QuerySpec] | Iterable[QuerySpec],
+    theory: Theory,
+    allow_predicates: bool = True,
+    allow_elementary: bool = True,
+    max_added: int | None = None,
+    find_all_minimal: bool = False,
+    strategy: str = "product",
+) -> list[PartialRPQRewriting]:
+    """Minimal atomic-view extensions making the rewriting exact.
+
+    Candidates are enumerated by increasing total count, preferring (at
+    equal counts) extensions with fewer non-elementary views, per the
+    paper's criteria 2–3.  Returns ``[]`` when no extension within
+    ``max_added`` works, and a single ``added=()`` entry when the original
+    rewriting is already exact.
+    """
+    views = _as_rpq_views(views)
+    candidates: list[tuple[int, object]] = []
+    if allow_predicates:
+        candidates.extend((1, Pred(name)) for name in theory.predicate_names)
+    if allow_elementary:
+        candidates.extend((0, constant) for constant in sorted(theory.domain, key=repr))
+    limit = len(candidates) if max_added is None else min(max_added, len(candidates))
+
+    solutions: list[PartialRPQRewriting] = []
+    for size in range(0, limit + 1):
+        # At a given size, try subsets with fewer non-elementary views first.
+        subsets = sorted(
+            combinations(candidates, size),
+            key=lambda subset: sum(kind for kind, _c in subset),
+        )
+        for subset in subsets:
+            extension: dict[Hashable, QuerySpec] = {}
+            preds: list[str] = []
+            consts: list[Hashable] = []
+            for kind, candidate in subset:
+                if kind == 1:
+                    assert isinstance(candidate, Pred)
+                    extension[atomic_view_name(candidate)] = RPQ(
+                        _formula_regex(candidate), name=str(candidate)
+                    )
+                    preds.append(candidate.name)
+                else:
+                    extension[atomic_view_name(candidate)] = RPQ(
+                        _formula_regex(Const(candidate)), name=f"={candidate}"
+                    )
+                    consts.append(candidate)
+            extended = views.extended(extension) if extension else views
+            result = rewrite_rpq(q0, extended, theory, strategy=strategy)
+            if result.is_exact():
+                solutions.append(
+                    PartialRPQRewriting(
+                        added_predicates=tuple(preds),
+                        added_constants=tuple(consts),
+                        result=result,
+                    )
+                )
+                if not find_all_minimal:
+                    return solutions
+        if solutions:
+            return solutions
+    return solutions
+
+
+def _formula_regex(formula):
+    from ..regex.ast import sym
+
+    return sym(formula)

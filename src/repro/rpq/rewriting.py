@@ -1,0 +1,315 @@
+"""View-based rewriting of regular path queries (Section 4.2).
+
+The algorithm lifts Section 2's construction to queries over formulae of a
+theory T.  Simply treating the formula set F as the base alphabet would be
+wrong — the paper's own example: with ``T |= forall x. A(x) -> B(x)``,
+``Q0 = B`` and ``Q = {A}``, the maximal rewriting is ``A``, which symbol-level
+rewriting misses.  Instead the construction works modulo T:
+
+1. Ground the query: build ``Q0^*`` accepting ``match(L(Q0))`` over D and
+   determinize it into ``Ad``.
+2. Build ``A'`` over the view alphabet Sigma_Q: a ``q``-edge ``s_i -> s_j``
+   iff some D-word matching a word of ``L(rpq(q))`` drives ``Ad`` from
+   ``s_i`` to ``s_j``.
+3. The rewriting ``R_{Q,Q0}`` is the complement of ``A'`` (Theorem 4.2).
+
+Step 2 is implemented two ways, selectable via ``strategy``:
+
+* ``"ground"`` — ground every view with ``Q^*`` and reuse the plain
+  Section 2 machinery;
+* ``"product"`` — the paper's optimization: never ground the views; the
+  product of ``A_d^{i,j}`` with the *formula* automaton of the view has a
+  transition ``(s1, s2) -> (s1', s2')`` iff some constant ``a`` satisfies
+  the formula and moves ``Ad`` from ``s1`` to ``s1'``.
+
+The remark at the end of Section 4.2 — partitioning constants into classes
+with equal formula signatures — is available via ``partition=True``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..automata.containment import containment_counterexample, is_contained
+from ..automata.determinize import determinize
+from ..automata.dfa import DFA
+from ..automata.emptiness import enumerate_words, is_empty, shortest_word
+from ..automata.minimize import minimize
+from ..automata.nfa import EPS, NFA
+from ..automata.operations import complement
+from ..automata.state_elim import to_regex
+from ..core.alphabet import ViewSet
+from ..core.expansion import expansion_nfa
+from ..regex.ast import Regex
+from .evaluation import ans
+from .formulas import Const, Formula
+from .graphdb import GraphDB
+from .query import RPQ, QuerySpec
+from .theory import Theory
+from .views import RPQViews, view_graph
+
+__all__ = ["rewrite_rpq", "RPQRewritingResult", "STRATEGIES"]
+
+STRATEGIES = ("ground", "product")
+
+Pair = tuple[Hashable, Hashable]
+
+
+@dataclass
+class RPQRewritingResult:
+    """The Sigma_Q-maximal rewriting ``R_{Q,Q0}`` of an RPQ (Theorem 4.2)."""
+
+    automaton: DFA
+    views: RPQViews
+    theory: Theory
+    ad: DFA
+    a_prime: NFA
+    alphabet_used: frozenset[Hashable]
+    stats: dict[str, float] = field(default_factory=dict)
+    _regex: Regex | None = field(default=None, repr=False)
+    _grounded_views: ViewSet | None = field(default=None, repr=False)
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        """Is the Sigma_Q word part of the rewriting?"""
+        return self.automaton.accepts(word)
+
+    def is_empty(self) -> bool:
+        return is_empty(self.automaton)
+
+    def shortest_word(self) -> tuple[Hashable, ...] | None:
+        return shortest_word(self.automaton)
+
+    def words(self, max_length: int, max_count: int | None = None):
+        return enumerate_words(self.automaton, max_length, max_count)
+
+    def regex(self) -> Regex:
+        """The rewriting as a regular expression over Sigma_Q (cached)."""
+        if self._regex is None:
+            self._regex = to_regex(self.automaton)
+        return self._regex
+
+    def grounded_views(self) -> ViewSet:
+        """The views as a core :class:`ViewSet` of D-automata (cached)."""
+        if self._grounded_views is None:
+            self._grounded_views = ViewSet(
+                {
+                    symbol: self.views.rpq(symbol).grounded(
+                        self.theory, restrict_to=self.alphabet_used
+                    )
+                    for symbol in self.views.symbols
+                }
+            )
+        return self._grounded_views
+
+    def expansion(self) -> NFA:
+        """Automaton for ``match(exp_F(L(R)))`` — the D-level expansion."""
+        return expansion_nfa(self.automaton, self.grounded_views())
+
+    def is_exact(self) -> bool:
+        """Is ``ans(exp_F(L(R)), DB) = ans(L(Q0), DB)`` for every DB?
+
+        By Theorem 4.1 this is equivalent to the D-language equality
+        ``match(exp_F(L(R))) = match(L(Q0))``, i.e. ``L(Ad) subseteq L(B)``.
+        """
+        return is_contained(self.ad, self.expansion())
+
+    def exactness_counterexample(self) -> tuple[Hashable, ...] | None:
+        """A D-word matched by ``Q0`` but not by the rewriting's expansion."""
+        return containment_counterexample(self.ad, self.expansion())
+
+    def answer(
+        self, db: GraphDB, extensions: Mapping[Hashable, Iterable[Pair]] | None = None
+    ) -> frozenset[Pair]:
+        """Evaluate the rewriting using only the views.
+
+        ``extensions`` are the materialized view answers; they are computed
+        from ``db`` when absent (the data-integration scenario supplies them
+        directly and never touches ``db``).
+        """
+        if extensions is None:
+            extensions = self.views.materialize(db, self.theory)
+        graph = view_graph(extensions)
+        return ans(self.automaton, graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"RPQRewritingResult(states={self.automaton.num_states}, "
+            f"views={list(self.views.symbols)})"
+        )
+
+
+def rewrite_rpq(
+    q0: QuerySpec,
+    views: RPQViews | Mapping[Hashable, QuerySpec] | Iterable[QuerySpec],
+    theory: Theory,
+    strategy: str = "product",
+    partition: bool = False,
+    minimize_result: bool = True,
+) -> RPQRewritingResult:
+    """Compute the Sigma_Q-maximal rewriting of ``q0`` wrt ``views`` under T."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+    views = _as_rpq_views(views)
+    query = q0 if isinstance(q0, RPQ) else RPQ(q0)
+    stats: dict[str, float] = {}
+
+    alphabet = _grounding_alphabet(query, views, theory, partition)
+    stats["alphabet_size"] = len(alphabet)
+
+    started = time.perf_counter()
+    grounded_q0 = query.grounded(theory, restrict_to=alphabet)
+    ad = minimize(determinize(grounded_q0)).completed(alphabet)
+    stats["ad_states"] = ad.num_states
+    stats["time_ad"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    if strategy == "ground":
+        a_prime = _a_prime_grounded(ad, views, theory, alphabet)
+    else:
+        a_prime = _a_prime_product(ad, views, theory, alphabet)
+    stats["a_prime_transitions"] = a_prime.num_transitions
+    stats["time_a_prime"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    rewriting = complement(a_prime, alphabet=views.symbols)
+    if minimize_result:
+        rewriting = minimize(rewriting, trim=False)
+    stats["rewriting_states"] = rewriting.num_states
+    stats["time_complement"] = time.perf_counter() - started
+
+    return RPQRewritingResult(
+        automaton=rewriting,
+        views=views,
+        theory=theory,
+        ad=ad,
+        a_prime=a_prime,
+        alphabet_used=frozenset(alphabet),
+        stats=stats,
+    )
+
+
+def _as_rpq_views(
+    views: RPQViews | Mapping[Hashable, QuerySpec] | Iterable[QuerySpec],
+) -> RPQViews:
+    if isinstance(views, RPQViews):
+        return views
+    if isinstance(views, Mapping):
+        return RPQViews(views)
+    return RPQViews.from_list(list(views))
+
+
+def _grounding_alphabet(
+    query: RPQ, views: RPQViews, theory: Theory, partition: bool
+) -> frozenset[Hashable]:
+    """The D-alphabet over which automata are built.
+
+    Without partitioning this is all of D.  With partitioning, constants
+    indistinguishable by every formula occurring in the query or the views
+    (plain symbols count as elementary formulae) collapse to one class
+    representative — sound because all constructed languages are saturated
+    under the induced equivalence.
+    """
+    if not partition:
+        return theory.domain
+    formulas: set[Formula] = set(query.formulas()) | set(views.formulas())
+    plain: set[Hashable] = set()
+    for symbol in query.alphabet():
+        if not isinstance(symbol, Formula):
+            plain.add(symbol)
+    for view_symbol in views.symbols:
+        for symbol in views.rpq(view_symbol).alphabet():
+            if not isinstance(symbol, Formula):
+                plain.add(symbol)
+    formulas |= {Const(a) for a in plain}
+    representatives = theory.representatives(formulas)
+    return frozenset(set(representatives.values()))
+
+
+def _a_prime_grounded(
+    ad: DFA, views: RPQViews, theory: Theory, alphabet: frozenset[Hashable]
+) -> NFA:
+    """Step 2 via full view grounding + the Section 2 relation computation."""
+    from ..automata.operations import view_transition_relation
+
+    transitions: dict[int, dict[Hashable, set[int]]] = {}
+    for symbol in views.symbols:
+        grounded_view = views.rpq(symbol).grounded(theory, restrict_to=alphabet)
+        relation = view_transition_relation(ad, grounded_view)
+        for source, targets in relation.items():
+            if targets:
+                transitions.setdefault(source, {})[symbol] = set(targets)
+    return NFA(
+        states=ad.states,
+        alphabet=views.symbols,
+        transitions=transitions,
+        initials={ad.initial},
+        finals=ad.states - ad.finals,
+    )
+
+
+def _a_prime_product(
+    ad: DFA, views: RPQViews, theory: Theory, alphabet: frozenset[Hashable]
+) -> NFA:
+    """Step 2 via the paper's grounding-free product automaton ``K``.
+
+    For each view and each ``Ad`` state ``s_i``, search the product of
+    ``A_d^{i,.}`` with the view's *formula* automaton: the pair
+    ``(s1, s2)`` steps to ``(s1', s2')`` iff the view has a transition
+    ``s2 --phi--> s2'`` and some constant ``a`` (in the grounding alphabet)
+    satisfies ``phi`` with ``delta_d(s1, a) = s1'``.  Only the satisfying
+    sets of the formulae that actually occur are ever computed — formulae
+    are instantiated "only to those constants that are actually necessary".
+    """
+    transitions: dict[int, dict[Hashable, set[int]]] = {}
+    for view_symbol in views.symbols:
+        view_nfa = views.rpq(view_symbol).nfa().without_epsilon()
+        satisfying: dict[Hashable, frozenset[Hashable]] = {}
+        for symbol in view_nfa.alphabet:
+            if isinstance(symbol, Formula):
+                satisfying[symbol] = theory.satisfying(symbol) & alphabet
+            else:
+                satisfying[symbol] = frozenset({symbol}) & alphabet
+        for source in ad.states:
+            targets = _product_targets(ad, view_nfa, satisfying, source)
+            if targets:
+                transitions.setdefault(source, {})[view_symbol] = targets
+    return NFA(
+        states=ad.states,
+        alphabet=views.symbols,
+        transitions=transitions,
+        initials={ad.initial},
+        finals=ad.states - ad.finals,
+    )
+
+
+def _product_targets(
+    ad: DFA,
+    view_nfa: NFA,
+    satisfying: Mapping[Hashable, frozenset[Hashable]],
+    source: int,
+) -> set[int]:
+    """All ``s_j`` reachable from ``source`` along some matching view word."""
+    targets: set[int] = set()
+    if frozenset(view_nfa.initials) & view_nfa.finals:
+        targets.add(source)  # empty word in the view language
+    seen: set[tuple[int, int]] = {(source, q) for q in view_nfa.initials}
+    queue: deque[tuple[int, int]] = deque(seen)
+    while queue:
+        d_state, v_state = queue.popleft()
+        for symbol, v_dsts in view_nfa.transitions_from(v_state).items():
+            for constant in satisfying.get(symbol, ()):
+                d_next = ad.successor(d_state, constant)
+                if d_next is None:
+                    continue
+                for v_next in v_dsts:
+                    pair = (d_next, v_next)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    if v_next in view_nfa.finals:
+                        targets.add(d_next)
+                    queue.append(pair)
+    return targets

@@ -1,0 +1,127 @@
+"""Decidable complete theories over the finite edge-label domain.
+
+Section 4.1 assumes a decidable, *complete* first-order theory T over a
+finite domain D — complete meaning every closed formula is either entailed
+or refuted.  A finite relational structure (an interpretation of finitely
+many unary predicates over D) is exactly such a theory, and validity
+checking ``T |= phi(a)`` becomes formula evaluation.  This is the
+substitution documented in DESIGN.md; every algorithm of Section 4 is
+preserved verbatim.
+
+The class also implements the constant-partitioning optimization the paper
+sketches at the end of Section 4.2: constants with the same satisfaction
+signature over the formulae of a query are interchangeable, so automata can
+be built over equivalence-class representatives instead of all of D.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from .formulas import Formula
+
+__all__ = ["Theory"]
+
+
+class Theory:
+    """A finite structure: domain D plus extensions of unary predicates."""
+
+    def __init__(
+        self,
+        domain: Iterable[Hashable],
+        predicates: Mapping[str, Iterable[Hashable]] | None = None,
+    ):
+        self.domain: frozenset[Hashable] = frozenset(domain)
+        if not self.domain:
+            raise ValueError("the domain D must be non-empty")
+        self._predicates: dict[str, frozenset[Hashable]] = {}
+        for name, extension in (predicates or {}).items():
+            ext = frozenset(extension)
+            if not ext <= self.domain:
+                raise ValueError(
+                    f"extension of {name!r} contains non-domain constants: "
+                    f"{sorted(map(repr, ext - self.domain))}"
+                )
+            self._predicates[name] = ext
+
+    @classmethod
+    def trivial(cls, domain: Iterable[Hashable]) -> "Theory":
+        """A theory with no predicates beyond the built-in constants."""
+        return cls(domain)
+
+    @property
+    def predicate_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._predicates))
+
+    def predicate_holds(self, name: str, constant: Hashable) -> bool:
+        """Does ``T |= P(constant)`` for the atomic predicate ``P``?"""
+        try:
+            extension = self._predicates[name]
+        except KeyError:
+            raise KeyError(f"unknown predicate {name!r}") from None
+        return constant in extension
+
+    def predicate_extension(self, name: str) -> frozenset[Hashable]:
+        return self._predicates[name]
+
+    def entails(self, formula: Formula, constant: Hashable) -> bool:
+        """Decide ``T |= phi(constant)`` (Definition 4.1's matching)."""
+        if constant not in self.domain:
+            raise ValueError(f"constant {constant!r} is not in the domain")
+        return formula.holds(self, constant)
+
+    def satisfying(self, formula: Formula) -> frozenset[Hashable]:
+        """All domain constants ``a`` with ``T |= phi(a)``."""
+        return frozenset(
+            a for a in self.domain if formula.holds(self, a)
+        )
+
+    def matches(self, formulas: Iterable[Formula], word: Iterable[Hashable]) -> bool:
+        """Definition 4.1: does the D-word match the F-word position-wise?"""
+        formulas = tuple(formulas)
+        word = tuple(word)
+        if len(formulas) != len(word):
+            return False
+        return all(
+            self.entails(phi, a) for phi, a in zip(formulas, word)
+        )
+
+    # ------------------------------------------------------------------
+    # Constant partitioning (Section 4.2, final remark)
+    # ------------------------------------------------------------------
+    def signature(
+        self, constant: Hashable, formulas: Iterable[Formula]
+    ) -> frozenset[Formula]:
+        """The set of the given formulae satisfied by ``constant``."""
+        return frozenset(
+            phi for phi in formulas if self.entails(phi, constant)
+        )
+
+    def partition(
+        self, formulas: Iterable[Formula]
+    ) -> list[frozenset[Hashable]]:
+        """Equivalence classes of constants by satisfaction signature."""
+        formulas = tuple(formulas)
+        classes: dict[frozenset[Formula], set[Hashable]] = {}
+        for constant in self.domain:
+            classes.setdefault(
+                self.signature(constant, formulas), set()
+            ).add(constant)
+        return [frozenset(block) for block in classes.values()]
+
+    def representatives(
+        self, formulas: Iterable[Formula]
+    ) -> dict[Hashable, Hashable]:
+        """Map each constant to a canonical representative of its class."""
+        mapping: dict[Hashable, Hashable] = {}
+        for block in self.partition(formulas):
+            canon = min(block, key=repr)
+            for constant in block:
+                mapping[constant] = canon
+        return mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"Theory(|D|={len(self.domain)}, "
+            f"predicates={list(self.predicate_names)})"
+        )

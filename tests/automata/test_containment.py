@@ -1,0 +1,83 @@
+"""Containment / equivalence with lazy determinization, plus witnesses."""
+
+from hypothesis import given, settings
+
+from repro.automata.containment import (
+    are_equivalent,
+    containment_counterexample,
+    is_contained,
+)
+from repro.automata.determinize import determinize
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+from ..conftest import ALPHABET, regex_strategy, words_up_to
+
+
+def nfa_of(text: str):
+    return to_nfa(parse(text))
+
+
+class TestContainment:
+    def test_obvious_containments(self):
+        assert is_contained(nfa_of("a"), nfa_of("a+b"))
+        assert is_contained(nfa_of("a.b"), nfa_of("a.(b+c)"))
+        assert is_contained(nfa_of("%empty"), nfa_of("a"))
+        assert is_contained(nfa_of("a.a"), nfa_of("a*"))
+
+    def test_non_containments(self):
+        assert not is_contained(nfa_of("a+b"), nfa_of("a"))
+        assert not is_contained(nfa_of("a*"), nfa_of("a.a*"))
+
+    def test_mixed_nfa_dfa_inputs(self):
+        assert is_contained(determinize(nfa_of("a.b")), nfa_of("a.b+c"))
+        assert is_contained(nfa_of("a.b"), determinize(nfa_of("(a+b)*")))
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_word_level_check(self, left, right):
+        l_nfa, r_nfa = to_nfa(left), to_nfa(right)
+        contained = is_contained(l_nfa, r_nfa)
+        word_level = all(
+            r_nfa.accepts(w)
+            for w in words_up_to(ALPHABET, 4)
+            if l_nfa.accepts(w)
+        )
+        if contained:
+            assert word_level
+        # (word-level containment on short words does not imply full
+        # containment, so only the forward implication is checked)
+
+    def test_union_absorption(self):
+        assert is_contained(nfa_of("a.b*"), nfa_of("a.b*+c"))
+
+
+class TestCounterexamples:
+    def test_counterexample_is_shortest(self):
+        cex = containment_counterexample(nfa_of("a*"), nfa_of("a.a*"))
+        assert cex == ()  # epsilon is in a* but not in a.a*
+
+    def test_counterexample_membership(self):
+        left, right = nfa_of("(a+b)*"), nfa_of("a*")
+        cex = containment_counterexample(left, right)
+        assert cex is not None
+        assert left.accepts(cex)
+        assert not right.accepts(cex)
+
+    def test_none_when_contained(self):
+        assert containment_counterexample(nfa_of("a"), nfa_of("a+b")) is None
+
+
+class TestEquivalence:
+    def test_syntactic_variants(self):
+        assert are_equivalent(nfa_of("a.a*"), nfa_of("a*.a"))
+        assert are_equivalent(nfa_of("(a+b)*"), nfa_of("(a*.b*)*"))
+        assert are_equivalent(nfa_of("%eps+a.a*"), nfa_of("a*"))
+
+    def test_inequivalence(self):
+        assert not are_equivalent(nfa_of("a*"), nfa_of("a.a*"))
+
+    @given(regex_strategy(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_reflexive(self, expr):
+        assert are_equivalent(to_nfa(expr), to_nfa(expr))

@@ -1,0 +1,125 @@
+"""Unit tests for the DFA class: completion, complement, trimming."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+
+
+def ab_dfa() -> DFA:
+    """Accepts a.b* (partial: no transitions out of state 0 on b)."""
+    return DFA(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions={0: {"a": 1}, 1: {"b": 1}},
+        initial=0,
+        finals={1},
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFA({0}, {"a"}, {}, 1, set())
+        with pytest.raises(ValueError):
+            DFA({0}, {"a"}, {}, 0, {3})
+        with pytest.raises(ValueError):
+            DFA({0}, {"a"}, {0: {"z": 0}}, 0, {0})
+        with pytest.raises(ValueError):
+            DFA({0}, {"a"}, {0: {"a": 9}}, 0, {0})
+
+    def test_counts(self):
+        dfa = ab_dfa()
+        assert dfa.num_states == 2
+        assert dfa.num_transitions == 2
+
+
+class TestRuns:
+    def test_accepts(self):
+        dfa = ab_dfa()
+        assert dfa.accepts(("a",))
+        assert dfa.accepts(("a", "b", "b"))
+        assert not dfa.accepts(())
+        assert not dfa.accepts(("b",))
+
+    def test_run_dies_on_missing_transition(self):
+        assert ab_dfa().run(("b",)) is None
+
+    def test_successor(self):
+        dfa = ab_dfa()
+        assert dfa.successor(0, "a") == 1
+        assert dfa.successor(0, "b") is None
+
+
+class TestCompletion:
+    def test_completed_is_total(self):
+        total = ab_dfa().completed()
+        assert total.is_total()
+        assert total.num_states == 3  # sink added
+
+    def test_completed_preserves_language(self):
+        dfa, total = ab_dfa(), ab_dfa().completed()
+        for word in [(), ("a",), ("b",), ("a", "b"), ("b", "a")]:
+            assert dfa.accepts(word) == total.accepts(word)
+
+    def test_completed_total_is_identity(self):
+        total = ab_dfa().completed()
+        assert total.completed() is total
+
+    def test_completed_over_larger_alphabet(self):
+        total = ab_dfa().completed({"a", "b", "c"})
+        assert total.is_total()
+        assert "c" in total.alphabet
+        assert not total.accepts(("a", "c"))
+
+    def test_completed_rejects_smaller_alphabet(self):
+        with pytest.raises(ValueError):
+            ab_dfa().completed({"a"})
+
+
+class TestComplement:
+    def test_complement_swaps_membership(self):
+        dfa = ab_dfa()
+        comp = dfa.complemented()
+        for word in [(), ("a",), ("b",), ("a", "b"), ("b", "b")]:
+            assert dfa.accepts(word) != comp.accepts(word)
+
+    def test_double_complement_same_language(self):
+        dfa = ab_dfa()
+        twice = dfa.complemented().complemented()
+        for word in [(), ("a",), ("b",), ("a", "b")]:
+            assert dfa.accepts(word) == twice.accepts(word)
+
+
+class TestTransformations:
+    def test_to_nfa_same_language(self):
+        dfa = ab_dfa()
+        nfa = dfa.to_nfa()
+        for word in [(), ("a",), ("a", "b"), ("b",)]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_trimmed_drops_sink(self):
+        total = ab_dfa().completed()
+        trimmed = total.trimmed()
+        assert trimmed.num_states == 2
+        assert trimmed.accepts(("a",))
+
+    def test_trimmed_empty_language(self):
+        dfa = DFA({0, 1}, {"a"}, {0: {"a": 0}}, 0, {1})
+        trimmed = dfa.trimmed()
+        assert trimmed.num_states == 1
+        assert not trimmed.accepts(())
+
+    def test_renumbered(self):
+        dfa = ab_dfa().renumbered(start=5)
+        assert min(dfa.states) == 5
+        assert dfa.accepts(("a", "b"))
+
+    def test_reachable_states(self):
+        dfa = DFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={0: {"a": 1}},
+            initial=0,
+            finals={1},
+        )
+        assert dfa.reachable_states() == {0, 1}

@@ -1,0 +1,87 @@
+"""DFA isomorphism and canonical forms (Myhill-Nerode uniqueness)."""
+
+from hypothesis import given, settings
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.isomorphism import are_isomorphic, canonical_form
+from repro.automata.minimize import minimize
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+from ..conftest import regex_strategy
+
+
+def minimal(text: str) -> DFA:
+    return minimize(determinize(to_nfa(parse(text))))
+
+
+class TestIsomorphism:
+    def test_renumbered_is_isomorphic(self):
+        dfa = minimal("a.(b+c)*")
+        assert are_isomorphic(dfa, dfa.renumbered(start=100))
+
+    def test_same_language_minimal_dfas_isomorphic(self):
+        assert are_isomorphic(minimal("a.a*"), minimal("a*.a"))
+        assert are_isomorphic(minimal("(a+b)*"), minimal("(a*.b*)*"))
+
+    def test_different_languages_not_isomorphic(self):
+        assert not are_isomorphic(minimal("a"), minimal("b"))
+        assert not are_isomorphic(minimal("a"), minimal("a.a"))
+
+    def test_same_shape_different_acceptance(self):
+        left = DFA({0, 1}, {"a"}, {0: {"a": 1}, 1: {"a": 0}}, 0, {0})
+        right = DFA({0, 1}, {"a"}, {0: {"a": 1}, 1: {"a": 0}}, 0, {1})
+        assert not are_isomorphic(left, right)
+
+    def test_different_alphabets(self):
+        assert not are_isomorphic(minimal("a"), minimal("a").completed({"a", "z"}))
+
+    def test_non_injective_candidate_rejected(self):
+        # left has two distinct states mapping onto one right state
+        left = DFA(
+            {0, 1, 2}, {"a", "b"},
+            {0: {"a": 1, "b": 2}, 1: {"a": 1}, 2: {"a": 2}},
+            0, {1, 2},
+        )
+        right = DFA(
+            {0, 1}, {"a", "b"}, {0: {"a": 1, "b": 1}, 1: {"a": 1}}, 0, {1}
+        )
+        assert not are_isomorphic(left, right)
+
+    @given(regex_strategy(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_minimization_canonicity(self, expr):
+        # Two pipelines to a minimal DFA must agree structurally.
+        direct = minimize(determinize(to_nfa(expr)))
+        via_reverse = minimize(
+            determinize(to_nfa(expr).reversed().reversed())
+        )
+        assert are_isomorphic(direct, via_reverse)
+
+
+class TestCanonicalForm:
+    def test_equal_language_gives_equal_canonical_form(self):
+        left = canonical_form(minimal("a.a*"))
+        right = canonical_form(minimal("a*.a"))
+        assert left.states == right.states
+        assert left.finals == right.finals
+        assert dict(left.iter_transitions() and []) == {}
+        assert sorted(left.iter_transitions()) == sorted(right.iter_transitions())
+
+    def test_canonical_form_preserves_language(self):
+        dfa = minimal("a.(b.a+c)*")
+        canon = canonical_form(dfa)
+        for word in [(), ("a",), ("a", "c"), ("a", "b", "a"), ("b",)]:
+            assert dfa.accepts(word) == canon.accepts(word)
+
+    def test_drops_unreachable_states(self):
+        dfa = DFA(
+            {0, 1, 9}, {"a"}, {0: {"a": 1}, 9: {"a": 9}}, 0, {1, 9}
+        )
+        canon = canonical_form(dfa)
+        assert canon.num_states == 2
+
+    def test_initial_is_zero(self):
+        canon = canonical_form(minimal("b.a"))
+        assert canon.initial == 0

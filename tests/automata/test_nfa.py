@@ -1,0 +1,159 @@
+"""Unit tests for the epsilon-NFA class and builder."""
+
+import pytest
+
+from repro.automata.nfa import EPS, NFA, NFABuilder
+
+
+def simple_nfa() -> NFA:
+    """Accepts a.b* — states 0 --a--> 1 with a b-loop on 1."""
+    return NFA(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions={0: {"a": {1}}, 1: {"b": {1}}},
+        initials={0},
+        finals={1},
+    )
+
+
+class TestConstruction:
+    def test_validation_initials(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {}, {1}, set())
+
+    def test_validation_finals(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {}, {0}, {5})
+
+    def test_validation_labels(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {0: {"z": {0}}}, {0}, {0})
+
+    def test_validation_targets(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {0: {"a": {7}}}, {0}, {0})
+
+    def test_empty_target_rows_dropped(self):
+        nfa = NFA({0}, {"a"}, {0: {"a": set()}}, {0}, {0})
+        assert nfa.num_transitions == 0
+
+    def test_counts(self):
+        nfa = simple_nfa()
+        assert nfa.num_states == 2
+        assert nfa.num_transitions == 2
+
+
+class TestAcceptance:
+    def test_basic_membership(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "b"))
+        assert not nfa.accepts(())
+        assert not nfa.accepts(("b",))
+        assert not nfa.accepts(("a", "a"))
+
+    def test_run_returns_reached_states(self):
+        nfa = simple_nfa()
+        assert nfa.run(("a",)) == frozenset({1})
+        assert nfa.run(("b",)) == frozenset()
+
+    def test_epsilon_closure(self):
+        builder = NFABuilder()
+        s0, s1, s2 = builder.add_states(3)
+        builder.add_epsilon(s0, s1)
+        builder.add_epsilon(s1, s2)
+        builder.set_initial(s0)
+        builder.set_final(s2)
+        nfa = builder.build()
+        assert nfa.epsilon_closure([s0]) == frozenset({s0, s1, s2})
+        assert nfa.accepts(())
+
+    def test_epsilon_cycle(self):
+        builder = NFABuilder()
+        s0, s1 = builder.add_states(2)
+        builder.add_epsilon(s0, s1)
+        builder.add_epsilon(s1, s0)
+        builder.add_transition(s1, "a", s0)
+        builder.set_initial(s0)
+        builder.set_final(s0)
+        nfa = builder.build()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(())
+
+
+class TestTransformations:
+    def test_reversed(self):
+        nfa = simple_nfa()
+        rev = nfa.reversed()
+        assert rev.accepts(("a",))
+        assert rev.accepts(("b", "a"))
+        assert not rev.accepts(("a", "b"))
+
+    def test_trimmed_removes_useless(self):
+        nfa = NFA(
+            states={0, 1, 2, 3},
+            alphabet={"a"},
+            transitions={0: {"a": {1, 2}}, 2: {"a": {2}}},
+            initials={0},
+            finals={1},
+        )
+        trimmed = nfa.trimmed()
+        assert trimmed.states == frozenset({0, 1})
+        assert trimmed.accepts(("a",))
+
+    def test_trimmed_empty_language(self):
+        nfa = NFA({0, 1}, {"a"}, {}, {0}, {1})
+        trimmed = nfa.trimmed()
+        assert not trimmed.accepts(())
+        assert trimmed.num_states == 1
+
+    def test_renumbered_is_isomorphic(self):
+        nfa = simple_nfa().renumbered(start=10)
+        assert nfa.accepts(("a", "b"))
+        assert min(nfa.states) == 10
+
+    def test_without_epsilon_preserves_language(self):
+        builder = NFABuilder()
+        s0, s1, s2 = builder.add_states(3)
+        builder.add_epsilon(s0, s1)
+        builder.add_transition(s1, "a", s2)
+        builder.add_epsilon(s2, s1)
+        builder.set_initial(s0)
+        builder.set_final(s2)
+        nfa = builder.build()
+        free = nfa.without_epsilon()
+        assert not free.has_epsilon_moves()
+        for word in [(), ("a",), ("a", "a"), ("a", "a", "a")]:
+            assert free.accepts(word) == nfa.accepts(word)
+
+    def test_with_alphabet_extends(self):
+        nfa = simple_nfa().with_alphabet({"a", "b", "c"})
+        assert "c" in nfa.alphabet
+        with pytest.raises(ValueError):
+            simple_nfa().with_alphabet({"a"})  # drops a used label
+
+
+class TestBuilder:
+    def test_add_state_allocates_fresh(self):
+        builder = NFABuilder()
+        assert builder.add_state() == 0
+        assert builder.add_state() == 1
+
+    def test_ensure_state_bumps_counter(self):
+        builder = NFABuilder()
+        builder.ensure_state(5)
+        assert builder.add_state() == 6
+
+    def test_builder_collects_alphabet(self):
+        builder = NFABuilder()
+        s0, s1 = builder.add_states(2)
+        builder.add_transition(s0, "x", s1)
+        builder.add_epsilon(s0, s1)
+        builder.set_initial(s0)
+        builder.set_final(s1)
+        nfa = builder.build()
+        assert nfa.alphabet == frozenset({"x"})
+        assert nfa.has_epsilon_moves()
+
+    def test_eps_label_repr(self):
+        assert repr(EPS) == "EPS"

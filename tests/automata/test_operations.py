@@ -1,0 +1,168 @@
+"""Boolean/rational operations: products, unions, complement, view relation."""
+
+from hypothesis import given, settings
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.operations import (
+    complement,
+    concat_nfa,
+    difference_dfa,
+    intersect_dfa,
+    intersect_nfa,
+    star_nfa,
+    union_dfa,
+    union_nfa,
+    view_transition_relation,
+)
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+from ..conftest import ALPHABET, regex_strategy, words_up_to
+
+
+def dfa_of(text: str) -> DFA:
+    return determinize(to_nfa(parse(text)))
+
+
+class TestDFABooleans:
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_is_conjunction(self, left, right):
+        l_dfa, r_dfa = determinize(to_nfa(left)), determinize(to_nfa(right))
+        both = intersect_dfa(l_dfa, r_dfa)
+        for w in words_up_to(ALPHABET, 3):
+            assert both.accepts(w) == (l_dfa.accepts(w) and r_dfa.accepts(w))
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_union_is_disjunction(self, left, right):
+        l_dfa, r_dfa = determinize(to_nfa(left)), determinize(to_nfa(right))
+        either = union_dfa(l_dfa, r_dfa)
+        for w in words_up_to(ALPHABET, 3):
+            assert either.accepts(w) == (l_dfa.accepts(w) or r_dfa.accepts(w))
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_difference(self, left, right):
+        l_dfa, r_dfa = determinize(to_nfa(left)), determinize(to_nfa(right))
+        diff = difference_dfa(l_dfa, r_dfa)
+        for w in words_up_to(ALPHABET, 3):
+            assert diff.accepts(w) == (l_dfa.accepts(w) and not r_dfa.accepts(w))
+
+    def test_different_alphabets_are_united(self):
+        left = dfa_of("a")
+        right = dfa_of("z")
+        either = union_dfa(left, right)
+        assert either.accepts(("a",))
+        assert either.accepts(("z",))
+
+
+class TestNFACombinators:
+    def test_union_nfa(self):
+        nfa = union_nfa([to_nfa(parse("a.b")), to_nfa(parse("c"))])
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("c",))
+        assert not nfa.accepts(("a",))
+
+    def test_concat_nfa(self):
+        nfa = concat_nfa([to_nfa(parse("a+b")), to_nfa(parse("c*"))])
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("b", "c", "c"))
+        assert not nfa.accepts(("c",))
+
+    def test_concat_nfa_empty_sequence_is_epsilon(self):
+        nfa = concat_nfa([])
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_star_nfa(self):
+        nfa = star_nfa(to_nfa(parse("a.b")))
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("a",))
+
+    def test_intersect_nfa(self):
+        left = to_nfa(parse("(a+b)*.a"))
+        right = to_nfa(parse("a.(a+b)*"))
+        both = intersect_nfa(left, right)
+        assert both.accepts(("a",))
+        assert both.accepts(("a", "b", "a"))
+        assert not both.accepts(("b", "a", "b"))
+
+    def test_intersect_nfa_disjoint(self):
+        both = intersect_nfa(to_nfa(parse("a")), to_nfa(parse("b")))
+        for w in words_up_to(ALPHABET, 2):
+            assert not both.accepts(w)
+
+
+class TestComplement:
+    @given(regex_strategy(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_flips_membership(self, expr):
+        nfa = to_nfa(expr, alphabet=ALPHABET)
+        comp = complement(nfa, alphabet=ALPHABET)
+        for w in words_up_to(ALPHABET, 3):
+            assert nfa.accepts(w) != comp.accepts(w)
+
+    def test_complement_over_explicit_alphabet(self):
+        comp = complement(to_nfa(parse("a")), alphabet={"a", "b"})
+        assert comp.accepts(("b",))
+        assert comp.accepts(())
+        assert not comp.accepts(("a",))
+
+
+class TestViewTransitionRelation:
+    def test_requires_total_dfa(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            view_transition_relation(dfa_of("a.b"), to_nfa(parse("a")))
+
+    def test_relation_matches_paper_semantics(self):
+        # Ad for a.(b.a+c)* completed; view a.c*.b must relate the initial
+        # state to the state reached by words a.c^k.b.
+        ad = dfa_of("a.(b.a+c)*").completed()
+        view = to_nfa(parse("a.c*.b"))
+        relation = view_transition_relation(ad, view)
+        for source, targets in relation.items():
+            for target in targets:
+                # verify: some view word takes Ad from source to target
+                found = False
+                for w in words_up_to(ALPHABET, 4):
+                    if view.accepts(w) and ad_run(ad, source, w) == target:
+                        found = True
+                        break
+                assert found, (source, target)
+
+    def test_relation_is_complete_on_short_words(self):
+        ad = dfa_of("a.(b.a+c)*").completed()
+        view = to_nfa(parse("a.c*.b"))
+        relation = view_transition_relation(ad, view)
+        for source in ad.states:
+            for w in words_up_to(ALPHABET, 3):
+                if view.accepts(w):
+                    target = ad_run(ad, source, w)
+                    assert target in relation[source]
+
+    def test_empty_view_language_gives_empty_relation(self):
+        ad = dfa_of("a").completed()
+        view = to_nfa(parse("%empty"))
+        relation = view_transition_relation(ad, view)
+        assert all(not targets for targets in relation.values())
+
+    def test_epsilon_view_relates_states_to_themselves(self):
+        ad = dfa_of("a").completed()
+        view = to_nfa(parse("%eps"))
+        relation = view_transition_relation(ad, view)
+        for source in ad.states:
+            assert relation[source] == {source}
+
+
+def ad_run(dfa: DFA, source: int, word) -> int | None:
+    state = source
+    for symbol in word:
+        if state is None:
+            return None
+        state = dfa.successor(state, symbol)
+    return state

@@ -1,0 +1,109 @@
+"""Property-based invariants across automata operations (hypothesis)."""
+
+from hypothesis import given, settings
+
+from repro.automata.containment import are_equivalent, is_contained
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+from repro.automata.operations import (
+    complement,
+    concat_nfa,
+    intersect_dfa,
+    intersect_nfa,
+    star_nfa,
+    union_dfa,
+    union_nfa,
+)
+from repro.automata.thompson import to_nfa
+from repro.regex.ast import concat, star, union
+
+from ..conftest import ALPHABET, regex_strategy, words_up_to
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestAlgebraicLaws:
+    """Operations on automata mirror the regex algebra."""
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_union_nfa_matches_regex_union(self, left, right):
+        via_automata = union_nfa([to_nfa(left), to_nfa(right)])
+        via_regex = to_nfa(union(left, right))
+        assert are_equivalent(via_automata, via_regex)
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_concat_nfa_matches_regex_concat(self, left, right):
+        via_automata = concat_nfa([to_nfa(left), to_nfa(right)])
+        via_regex = to_nfa(concat(left, right))
+        assert are_equivalent(via_automata, via_regex)
+
+    @given(regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_star_nfa_matches_regex_star(self, expr):
+        assert are_equivalent(star_nfa(to_nfa(expr)), to_nfa(star(expr)))
+
+    @given(regex_strategy(max_leaves=4), regex_strategy(max_leaves=4))
+    @settings(**SETTINGS)
+    def test_de_morgan(self, left, right):
+        l_nfa = to_nfa(left, alphabet=ALPHABET)
+        r_nfa = to_nfa(right, alphabet=ALPHABET)
+        lhs = complement(
+            union_dfa(determinize(l_nfa), determinize(r_nfa)), ALPHABET
+        )
+        rhs = intersect_dfa(
+            complement(l_nfa, ALPHABET), complement(r_nfa, ALPHABET)
+        )
+        assert are_equivalent(lhs, rhs)
+
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_intersection_commutes(self, left, right):
+        a, b = to_nfa(left), to_nfa(right)
+        assert are_equivalent(intersect_nfa(a, b), intersect_nfa(b, a))
+
+
+class TestStructuralInvariants:
+    @given(regex_strategy(max_leaves=6))
+    @settings(**SETTINGS)
+    def test_double_reverse_preserves_language(self, expr):
+        nfa = to_nfa(expr)
+        assert are_equivalent(nfa, nfa.reversed().reversed())
+
+    @given(regex_strategy(max_leaves=6))
+    @settings(**SETTINGS)
+    def test_trim_preserves_language(self, expr):
+        nfa = to_nfa(expr)
+        assert are_equivalent(nfa, nfa.trimmed())
+
+    @given(regex_strategy(max_leaves=6))
+    @settings(**SETTINGS)
+    def test_minimize_lower_bounds_every_equivalent_dfa(self, expr):
+        dfa = determinize(to_nfa(expr))
+        small = minimize(dfa)
+        assert small.num_states <= max(dfa.num_states, 1)
+        assert are_equivalent(dfa, small)
+
+    @given(regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_double_complement_is_identity(self, expr):
+        nfa = to_nfa(expr, alphabet=ALPHABET)
+        twice = complement(complement(nfa, ALPHABET).to_nfa(), ALPHABET)
+        assert are_equivalent(nfa, twice)
+
+    @given(regex_strategy(max_leaves=5))
+    @settings(**SETTINGS)
+    def test_containment_antisymmetry_on_self(self, expr):
+        nfa = to_nfa(expr)
+        assert is_contained(nfa, nfa)
+
+
+class TestWordLevelConsistency:
+    @given(regex_strategy(max_leaves=5), regex_strategy(max_leaves=5))
+    @settings(max_examples=20, deadline=None)
+    def test_intersection_on_words(self, left, right):
+        l_nfa, r_nfa = to_nfa(left), to_nfa(right)
+        both = intersect_nfa(l_nfa, r_nfa)
+        for w in words_up_to(ALPHABET, 3):
+            assert both.accepts(w) == (l_nfa.accepts(w) and r_nfa.accepts(w))

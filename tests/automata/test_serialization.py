@@ -1,0 +1,83 @@
+"""Serialization round-trips and DOT export."""
+
+import json
+
+import pytest
+
+from repro.automata.determinize import determinize
+from repro.automata.serialization import (
+    dfa_from_dict,
+    dfa_to_dict,
+    nfa_from_dict,
+    nfa_to_dict,
+    to_dot,
+)
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+from ..conftest import ALPHABET, words_up_to
+
+
+class TestNFADict:
+    def test_roundtrip(self):
+        nfa = to_nfa(parse("a.(b+c)*"))
+        back = nfa_from_dict(nfa_to_dict(nfa))
+        for w in words_up_to(ALPHABET, 3):
+            assert nfa.accepts(w) == back.accepts(w)
+
+    def test_epsilon_transitions_roundtrip(self):
+        nfa = to_nfa(parse("a*"))
+        payload = nfa_to_dict(nfa)
+        back = nfa_from_dict(payload)
+        assert back.has_epsilon_moves()
+        assert back.accepts(())
+        assert back.accepts(("a", "a"))
+
+    def test_json_compatible(self):
+        payload = nfa_to_dict(to_nfa(parse("a+b")))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            nfa_from_dict({"kind": "dfa"})
+
+    def test_rejects_non_string_symbols(self):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA({0, 1}, {1}, {0: {1: {1}}}, {0}, {1})
+        with pytest.raises(TypeError):
+            nfa_to_dict(nfa)
+
+
+class TestDFADict:
+    def test_roundtrip(self):
+        dfa = determinize(to_nfa(parse("a.b*+c")))
+        back = dfa_from_dict(dfa_to_dict(dfa))
+        for w in words_up_to(ALPHABET, 3):
+            assert dfa.accepts(w) == back.accepts(w)
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            dfa_from_dict({"kind": "nfa"})
+
+    def test_payload_is_sorted_and_stable(self):
+        dfa = determinize(to_nfa(parse("a+b")))
+        assert dfa_to_dict(dfa) == dfa_to_dict(dfa)
+
+
+class TestDot:
+    def test_dfa_dot_mentions_all_states(self):
+        dfa = determinize(to_nfa(parse("a.b")))
+        dot = to_dot(dfa, name="test")
+        assert dot.startswith("digraph test {")
+        for state in dfa.states:
+            assert f"s{state}" in dot
+
+    def test_nfa_dot_renders_epsilon(self):
+        nfa = to_nfa(parse("a*"))
+        assert "ε" in to_dot(nfa)
+
+    def test_final_states_doubled(self):
+        dfa = determinize(to_nfa(parse("a")))
+        dot = to_dot(dfa)
+        assert "doublecircle" in dot

@@ -1,0 +1,60 @@
+"""State elimination: automaton -> regex, language-preserving and readable."""
+
+from hypothesis import given, settings
+
+from repro.automata.containment import are_equivalent
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+from repro.automata.state_elim import to_regex
+from repro.automata.thompson import to_nfa
+from repro.regex.ast import concat, star, sym
+from repro.regex.parser import parse
+from repro.regex.printer import to_string
+
+from ..conftest import regex_strategy
+
+
+class TestRoundTrip:
+    @given(regex_strategy(max_leaves=7))
+    @settings(max_examples=40, deadline=None)
+    def test_regex_to_nfa_to_regex_same_language(self, expr):
+        nfa = to_nfa(expr)
+        back = to_regex(nfa)
+        assert are_equivalent(nfa, to_nfa(back))
+
+    def test_dfa_input(self):
+        dfa = minimize(determinize(to_nfa(parse("a.(b+c)*"))))
+        back = to_regex(dfa)
+        assert are_equivalent(dfa, to_nfa(back))
+
+
+class TestReadability:
+    def test_figure1_shape(self):
+        # The minimal DFA of e2*.e1.e3* converts back to exactly that shape.
+        dfa = minimize(determinize(to_nfa(parse("e2*.e1.e3*"))))
+        assert to_string(to_regex(dfa)) == "e2*.e1.e3*"
+
+    def test_single_state_loop(self):
+        dfa = minimize(determinize(to_nfa(parse("a*"))))
+        assert to_regex(dfa) == star(sym("a"))
+
+    def test_simple_word(self):
+        dfa = minimize(determinize(to_nfa(parse("a.b.c"))))
+        assert to_regex(dfa) == concat(sym("a"), sym("b"), sym("c"))
+
+    def test_empty_language(self):
+        from repro.regex.ast import EmptySet
+
+        nfa = to_nfa(parse("%empty"))
+        assert isinstance(to_regex(nfa), EmptySet)
+
+    def test_epsilon_language(self):
+        from repro.regex.ast import Epsilon
+
+        nfa = to_nfa(parse("%eps"))
+        assert isinstance(to_regex(nfa), Epsilon)
+
+    def test_unsimplified_still_correct(self):
+        nfa = to_nfa(parse("(a+b)*.c"))
+        raw = to_regex(nfa, simplify_result=False)
+        assert are_equivalent(nfa, to_nfa(raw))

@@ -1,0 +1,90 @@
+"""Thompson construction: structure invariants and language correctness."""
+
+from hypothesis import given, settings
+
+from repro.automata.nfa import EPS
+from repro.automata.thompson import to_nfa, universal_nfa, word_nfa
+from repro.regex.ast import EMPTY, EPSILON, concat, star, sym, union, word
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+
+from ..conftest import ALPHABET, regex_strategy, words_up_to
+
+
+class TestStructure:
+    """The paper's exactness check relies on view automata having a unique
+    entry state (no incoming edges) and a unique exit state (no outgoing)."""
+
+    @given(regex_strategy(max_leaves=8))
+    @settings(max_examples=50, deadline=None)
+    def test_unique_initial_and_final(self, expr):
+        nfa = to_nfa(expr)
+        assert len(nfa.initials) == 1
+        assert len(nfa.finals) == 1
+
+    @given(regex_strategy(max_leaves=8))
+    @settings(max_examples=50, deadline=None)
+    def test_no_incoming_to_initial_no_outgoing_from_final(self, expr):
+        nfa = to_nfa(expr)
+        (initial,) = nfa.initials
+        (final,) = nfa.finals
+        for _src, _label, dst in nfa.iter_transitions():
+            assert dst != initial
+        assert not nfa.transitions_from(final)
+
+
+class TestLanguages:
+    def test_empty_set(self):
+        nfa = to_nfa(EMPTY)
+        assert not nfa.accepts(())
+
+    def test_epsilon(self):
+        nfa = to_nfa(EPSILON)
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_symbol(self):
+        nfa = to_nfa(sym("a"))
+        assert nfa.accepts(("a",))
+        assert not nfa.accepts(())
+
+    def test_concat_union_star(self):
+        nfa = to_nfa(parse("a.(b+c)*"))
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "c", "b"))
+        assert not nfa.accepts(("b",))
+
+    def test_nested_stars(self):
+        nfa = to_nfa(parse("(a*.b)*"))
+        assert nfa.accepts(())
+        assert nfa.accepts(("b", "a", "b"))
+        assert not nfa.accepts(("a",))
+
+    @given(regex_strategy(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_derivatives(self, expr):
+        nfa = to_nfa(expr)
+        for w in words_up_to(ALPHABET, 3):
+            assert nfa.accepts(w) == matches(expr, w)
+
+    def test_extra_alphabet(self):
+        nfa = to_nfa(sym("a"), alphabet={"a", "z"})
+        assert "z" in nfa.alphabet
+
+
+class TestHelpers:
+    def test_word_nfa(self):
+        nfa = word_nfa(("x", "y"))
+        assert nfa.accepts(("x", "y"))
+        assert not nfa.accepts(("x",))
+        assert not nfa.accepts(("x", "y", "x"))
+
+    def test_empty_word_nfa(self):
+        nfa = word_nfa(())
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_universal_nfa(self):
+        nfa = universal_nfa({"a", "b"})
+        for w in words_up_to(("a", "b"), 3):
+            assert nfa.accepts(w)

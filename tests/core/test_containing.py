@@ -1,0 +1,111 @@
+"""Existential / containing rewritings (the paper's Section 5 direction)."""
+
+from itertools import product
+
+import pytest
+
+from repro.core import ViewSet, maximal_rewriting
+from repro.core.containing import existential_rewriting
+from repro.core.maximality import word_expansion_contained
+from repro.core.expansion import word_expansion_nfa
+from repro.automata.containment import is_contained
+from repro.automata.emptiness import is_empty
+from repro.automata.operations import intersect_nfa
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+
+FIG1_VIEWS = {"e1": "a", "e2": "a.c*.b", "e3": "c"}
+E0 = "a.(b.a+c)*"
+
+
+class TestSemantics:
+    """R-exists accepts a word iff some expansion meets L(E0)."""
+
+    @pytest.mark.parametrize(
+        "e0, views",
+        [
+            (E0, FIG1_VIEWS),
+            ("a+b", {"e1": "a", "e2": "c"}),
+            ("(a.b)*", {"e1": "a.b", "e2": "b.a"}),
+            ("a*", {"e1": "a.a", "e2": "b"}),
+        ],
+    )
+    def test_word_level_definition(self, e0, views):
+        view_set = ViewSet(views)
+        result = existential_rewriting(e0, view_set)
+        e0_nfa = to_nfa(parse(e0))
+        for length in range(4):
+            for word in product(view_set.symbols, repeat=length):
+                some_expansion_hits = not is_empty(
+                    intersect_nfa(word_expansion_nfa(word, view_set), e0_nfa)
+                )
+                assert result.accepts(word) == some_expansion_hits, word
+
+    def test_contains_the_maximal_contained_rewriting(self):
+        views = ViewSet(FIG1_VIEWS)
+        contained = maximal_rewriting(E0, views)
+        containing = existential_rewriting(E0, views)
+        # every word of the contained rewriting has all (hence some)
+        # expansions in L(E0) — unless its expansion is empty
+        for word in contained.words(max_length=3):
+            assert containing.accepts(word) or not word_expansion_contained(
+                word, views, contained.ad
+            )
+
+
+class TestCoverage:
+    def test_covering_views(self):
+        result = existential_rewriting(E0, ViewSet(FIG1_VIEWS))
+        assert result.covers()
+        assert result.coverage_counterexample() is None
+
+    def test_non_covering_views(self):
+        # 'd' words of E0 can never be produced by the views.
+        result = existential_rewriting("a+d", ViewSet({"e1": "a"}))
+        assert not result.covers()
+        assert result.coverage_counterexample() == ("d",)
+
+    def test_exact_maximal_rewriting_implies_coverage(self):
+        views = ViewSet({"e1": "a", "e2": "b"})
+        contained = maximal_rewriting("(a+b)*", views)
+        assert contained.is_exact()
+        containing = existential_rewriting("(a+b)*", views)
+        assert containing.covers()
+
+    def test_coverage_without_exact_contained_rewriting(self):
+        # Views overlap E0 only partially per word, yet cover it jointly:
+        # E0 = a.b, views can only produce a.b via e1.e2 with slack.
+        views = ViewSet({"e1": "a+a.b", "e2": "b+%eps"})
+        contained = maximal_rewriting("a.b", views)
+        assert contained.is_empty()  # e1.e2 can also produce a.b.b etc.
+        containing = existential_rewriting("a.b", views)
+        assert containing.covers()
+        assert containing.accepts(("e1", "e2"))
+
+    def test_expansion_superset_when_covering(self):
+        views = ViewSet(FIG1_VIEWS)
+        result = existential_rewriting(E0, views)
+        assert is_contained(result.ad, result.expansion())
+
+
+class TestMachinery:
+    def test_single_exponential_no_complement(self):
+        # The automaton lives on Ad's states (no subset blowup).
+        views = ViewSet(FIG1_VIEWS)
+        result = existential_rewriting(E0, views)
+        assert result.automaton.num_states <= result.ad.num_states
+
+    def test_regex_rendering(self):
+        result = existential_rewriting("a.b", ViewSet({"e1": "a", "e2": "b"}))
+        rendered = str(result.regex())
+        assert "e1" in rendered and "e2" in rendered
+
+    def test_empty_when_views_disjoint_from_e0(self):
+        result = existential_rewriting("a", ViewSet({"e1": "b"}))
+        assert result.is_empty()
+        assert not result.covers()
+
+    def test_shortest_word(self):
+        result = existential_rewriting(E0, ViewSet(FIG1_VIEWS))
+        assert result.shortest_word() == ("e1",)

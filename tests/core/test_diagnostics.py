@@ -1,0 +1,68 @@
+"""Diagnostics as an independent certification of rewriting verdicts."""
+
+from itertools import product
+
+import pytest
+
+from repro.core import ViewSet, maximal_rewriting
+from repro.core.diagnostics import explain, explain_rejection, sample_expansion
+
+
+class TestWitnesses:
+    def test_rejection_witness_escapes_e0(self, fig1_rewriting):
+        witness = explain_rejection(fig1_rewriting, ("e3",))
+        assert witness == ("c",)
+        assert not fig1_rewriting.ad.accepts(witness)
+
+    def test_no_witness_for_accepted_words(self, fig1_rewriting):
+        assert explain_rejection(fig1_rewriting, ("e2", "e1")) is None
+
+    def test_sample_expansion_inside_e0(self, fig1_rewriting):
+        sample = sample_expansion(fig1_rewriting, ("e2", "e1"))
+        assert sample is not None
+        assert fig1_rewriting.ad.accepts(sample)
+
+    def test_sample_none_for_useless_word(self):
+        result = maximal_rewriting("a", ViewSet({"e1": "b"}))
+        assert sample_expansion(result, ("e1",)) is None
+
+    def test_witnesses_certify_every_verdict(self, fig1_rewriting):
+        """Independent certification: for every short word, the witness
+        agrees with the automaton's verdict."""
+        for length in range(4):
+            for word in product(fig1_rewriting.views.symbols, repeat=length):
+                witness = explain_rejection(fig1_rewriting, word)
+                assert (witness is None) == fig1_rewriting.accepts(word), word
+                if witness is not None:
+                    # the witness must be a genuine expansion of the word
+                    from repro.core.expansion import word_expansion_nfa
+
+                    expansion = word_expansion_nfa(word, fig1_rewriting.views)
+                    assert expansion.accepts(witness)
+
+    def test_empty_word_diagnostics(self, fig1_rewriting):
+        # eps expands to eps, which is not in L(a.(b.a+c)*)
+        witness = explain_rejection(fig1_rewriting, ())
+        assert witness == ()
+
+
+class TestRendering:
+    def test_accepted_message(self, fig1_rewriting):
+        message = explain(fig1_rewriting, ("e1",))
+        assert "IS in the rewriting" in message
+        assert "a" in message
+
+    def test_rejected_message(self, fig1_rewriting):
+        message = explain(fig1_rewriting, ("e3",))
+        assert "NOT in the rewriting" in message
+        assert "c" in message
+
+    def test_empty_word_message(self, fig1_rewriting):
+        message = explain(fig1_rewriting, ())
+        assert "(empty word)" in message
+
+    def test_vacuous_containment_message(self):
+        result = maximal_rewriting("a", ViewSet({"e1": "a", "e2": "%empty"}))
+        message = explain(result, ("e2",))
+        assert "IS in the rewriting" in message
+        assert "vacuously" in message

@@ -1,0 +1,70 @@
+"""The EXPSPACE non-emptiness test (Theorem 3.3 upper bound)."""
+
+import pytest
+
+from repro.core import (
+    ViewSet,
+    has_nonempty_rewriting,
+    maximal_rewriting,
+    nonempty_rewriting_witness,
+)
+
+
+class TestAgainstFullConstruction:
+    @pytest.mark.parametrize(
+        "e0, views",
+        [
+            ("a.(b.a+c)*", {"e1": "a", "e2": "a.c*.b", "e3": "c"}),
+            ("a", {"e1": "b"}),
+            ("a*", {"e1": "a.a"}),
+            ("a.b", {"e1": "b.a"}),
+            ("(a+b)*", {"e1": "a"}),
+            ("a.b.c", {"e1": "a.b", "e2": "c"}),
+            ("a.b.c", {"e1": "a", "e2": "b.b", "e3": "c"}),
+        ],
+    )
+    def test_agrees_with_maximal_rewriting(self, e0, views):
+        view_set = ViewSet(views)
+        expected = not maximal_rewriting(e0, view_set).is_empty()
+        assert has_nonempty_rewriting(e0, view_set) == expected
+
+    def test_witness_is_accepted_by_the_rewriting(self):
+        views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+        witness = nonempty_rewriting_witness("a.(b.a+c)*", views)
+        assert witness is not None
+        result = maximal_rewriting("a.(b.a+c)*", views)
+        assert result.accepts(witness)
+
+    def test_witness_is_shortest(self):
+        views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+        witness = nonempty_rewriting_witness("a.(b.a+c)*", views)
+        assert witness == ("e1",)
+
+    def test_epsilon_witness_for_nullable_e0(self):
+        # The empty Sigma_E word is a rewriting whenever eps in L(E0).
+        assert nonempty_rewriting_witness("a*", {"e1": "b"}) == ()
+
+    def test_no_witness_when_empty(self):
+        assert nonempty_rewriting_witness("a", {"e1": "b"}) is None
+
+    def test_empty_view_language_short_circuit(self):
+        # A word over an empty-language view expands to nothing: vacuously
+        # a rewriting, so non-emptiness must hold even though L(e1) misses.
+        assert has_nonempty_rewriting("a", {"e1": "%empty"})
+
+
+class TestLazyEquivalence:
+    """The lazy search must agree with explicit complementation on the
+    Theorem 3.3 instances too (covered in tests/reductions), and on a
+    couple of adversarial shapes here."""
+
+    def test_rewriting_requires_multiple_views(self):
+        views = {"e1": "a.b", "e2": "b.a"}
+        # (ab)(ba)(ab)... e0 = a.(b.a)*.b accepts abab...ab
+        assert has_nonempty_rewriting("a.(b.a)*.b", views)
+        witness = nonempty_rewriting_witness("a.(b.a)*.b", views)
+        assert witness is not None
+
+    def test_subtle_emptiness(self):
+        # Views can only build even-length a-blocks; E0 demands odd.
+        assert not has_nonempty_rewriting("a.(a.a)*", {"e1": "a.a"})

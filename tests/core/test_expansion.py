@@ -1,0 +1,108 @@
+"""Expansion automata: exp_Sigma over automata and single words."""
+
+import pytest
+
+from repro.automata.containment import are_equivalent
+from repro.automata.thompson import to_nfa
+from repro.core import ViewSet
+from repro.core.expansion import expansion_nfa, word_expansion_nfa
+from repro.regex.parser import parse
+
+
+@pytest.fixture
+def views():
+    return ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+
+
+class TestWordExpansion:
+    def test_empty_word_expands_to_epsilon(self, views):
+        nfa = word_expansion_nfa((), views)
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_single_symbol(self, views):
+        nfa = word_expansion_nfa(("e2",), views)
+        assert nfa.accepts(tuple("ab"))
+        assert nfa.accepts(tuple("acccb"))
+        assert not nfa.accepts(tuple("a"))
+
+    def test_concatenation(self, views):
+        nfa = word_expansion_nfa(("e2", "e1"), views)
+        assert nfa.accepts(tuple("aba"))
+        assert nfa.accepts(tuple("acba"))
+        assert not nfa.accepts(tuple("ab"))
+
+    def test_unknown_symbol_rejected(self, views):
+        with pytest.raises(KeyError):
+            word_expansion_nfa(("zz",), views)
+
+
+class TestAutomatonExpansion:
+    def test_matches_definition_on_language(self, views):
+        # exp(L(e2*.e1.e3*)) == (a.c*.b)*.a.c*
+        rewriting = to_nfa(parse("e2*.e1.e3*"))
+        expansion = expansion_nfa(rewriting, views)
+        expected = to_nfa(parse("(a.c*.b)*.a.c*"))
+        assert are_equivalent(expansion, expected)
+
+    def test_empty_rewriting_expands_to_empty(self, views):
+        expansion = expansion_nfa(to_nfa(parse("%empty")), views)
+        assert not expansion.accepts(())
+        assert not expansion.accepts(("a",))
+
+    def test_epsilon_rewriting_expands_to_epsilon(self, views):
+        expansion = expansion_nfa(to_nfa(parse("%eps")), views)
+        assert expansion.accepts(())
+        assert not expansion.accepts(("a",))
+
+    def test_rejects_non_view_symbols(self, views):
+        with pytest.raises(ValueError):
+            expansion_nfa(to_nfa(parse("zz")), views)
+
+    def test_dfa_input_accepted(self, views):
+        from repro.automata.determinize import determinize
+
+        dfa = determinize(to_nfa(parse("e1+e3")))
+        expansion = expansion_nfa(dfa, views)
+        assert expansion.accepts(("a",))
+        assert expansion.accepts(("c",))
+        assert not expansion.accepts(("b",))
+
+    def test_view_automaton_copies_are_fresh(self, views):
+        # e1.e1 needs two independent copies of the view automaton.
+        expansion = expansion_nfa(to_nfa(parse("e1.e1")), views)
+        assert expansion.accepts(("a", "a"))
+        assert not expansion.accepts(("a",))
+
+
+class TestViewSetBasics:
+    def test_symbols_order_preserved(self, views):
+        assert views.symbols == ("e1", "e2", "e3")
+
+    def test_re_returns_expression(self, views):
+        from repro.regex.printer import to_string
+
+        assert to_string(views.re("e2")) == "a.c*.b"
+
+    def test_re_fails_for_automaton_views(self):
+        from repro.automata.thompson import word_nfa
+
+        views = ViewSet({"v": word_nfa(("a",))})
+        with pytest.raises(ValueError):
+            views.re("v")
+        assert views.nfa("v").accepts(("a",))
+
+    def test_base_alphabet(self, views):
+        assert views.base_alphabet() == frozenset({"a", "b", "c"})
+
+    def test_extended_rejects_duplicates(self, views):
+        with pytest.raises(ValueError):
+            views.extended({"e1": "a"})
+
+    def test_empty_view_set_rejected(self):
+        with pytest.raises(ValueError):
+            ViewSet({})
+
+    def test_from_list_autonames(self):
+        views = ViewSet.from_list(["a", "b"])
+        assert views.symbols == ("e1", "e2")

@@ -1,0 +1,87 @@
+"""Monotonicity and robustness properties of the rewriting construction.
+
+These are consequences of Theorem 2.2 the paper uses implicitly: adding
+views can only grow the (expansion of the) maximal rewriting, and the
+rewriting is invariant under replacing ``E0`` or views by equivalent
+expressions.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.automata.containment import is_contained
+from repro.core import ViewSet, maximal_rewriting
+from repro.regex.ast import star, union
+from repro.regex.random_gen import random_regex
+
+from ..conftest import regex_strategy
+
+
+class TestViewMonotonicity:
+    def test_adding_a_view_grows_the_expansion(self):
+        rng = random.Random(5)
+        for _ in range(8):
+            e0 = random_regex(rng, "ab", max_size=5)
+            base = ViewSet({"e1": random_regex(rng, "ab", max_size=3)})
+            extended = base.extended({"e2": random_regex(rng, "ab", max_size=3)})
+            small = maximal_rewriting(e0, base)
+            large = maximal_rewriting(e0, extended)
+            assert is_contained(small.expansion(), large.expansion()), e0
+
+    def test_adding_view_preserves_old_words(self, fig1_rewriting):
+        views = fig1_rewriting.views.extended({"e4": "b"})
+        larger = maximal_rewriting("a.(b.a+c)*", views)
+        for word in fig1_rewriting.words(max_length=3):
+            assert larger.accepts(word)
+
+
+class TestEquivalenceInvariance:
+    @given(regex_strategy(alphabet=("a", "b"), max_leaves=4))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_under_e0_syntax(self, e0):
+        # E0 and E0+E0 denote the same language.
+        views = ViewSet({"e1": "a", "e2": "b.a"})
+        left = maximal_rewriting(e0, views)
+        right = maximal_rewriting(union(e0, e0), views)
+        from itertools import product
+
+        for length in range(4):
+            for word in product(views.symbols, repeat=length):
+                assert left.accepts(word) == right.accepts(word)
+
+    def test_invariant_under_view_syntax(self):
+        # a* and (a*)* are the same view language.
+        from repro.regex.ast import sym
+
+        left = maximal_rewriting("a*", ViewSet({"e": star(sym("a"))}))
+        right = maximal_rewriting("a*", ViewSet({"e": star(star(sym("a")))}))
+        for word in [(), ("e",), ("e", "e")]:
+            assert left.accepts(word) == right.accepts(word)
+
+
+class TestQueryMonotonicity:
+    def test_larger_query_grows_rewriting(self):
+        # L(E0) subseteq L(E0'): every rewriting word remains valid.
+        views = ViewSet({"e1": "a", "e2": "b"})
+        small = maximal_rewriting("a.b", views)
+        large = maximal_rewriting("a.b+a.b.a", views)
+        for word in small.words(max_length=3):
+            assert large.accepts(word)
+
+    def test_universal_query_accepts_everything(self):
+        views = ViewSet({"e1": "a.b", "e2": "b*"})
+        result = maximal_rewriting("(a+b)*", views)
+        from itertools import product
+
+        for length in range(4):
+            for word in product(views.symbols, repeat=length):
+                assert result.accepts(word)
+        assert result.is_exact() is False  # single 'a' is not expressible
+
+    def test_empty_query_rejects_everything_but_empty_views(self):
+        views = ViewSet({"e1": "a"})
+        result = maximal_rewriting("%empty", views)
+        assert not result.accepts(())
+        assert not result.accepts(("e1",))
+        assert result.is_empty()

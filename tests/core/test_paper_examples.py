@@ -1,0 +1,99 @@
+"""The paper's worked examples, reproduced exactly.
+
+* Example 2.1 — Sigma- vs Sigma_E-maximality of rewritings of ``a*``;
+* Example 2.2 / Figure 1 — the rewriting of ``a.(b.a+c)*`` wrt
+  ``{a, a.c*.b, c}``;
+* Example 2.3 — exactness of that rewriting, and non-exactness without
+  the view ``c``.
+"""
+
+from repro import ViewSet, maximal_rewriting
+from repro.automata.thompson import to_nfa
+from repro.core.maximality import expansions_equivalent, is_rewriting
+from repro.regex.parser import parse
+from repro.regex.printer import to_string
+
+
+class TestExample21:
+    """E0 = a*, E = {a*}: both e* and e are Sigma-maximal rewritings, but
+    only e* is Sigma_E-maximal."""
+
+    def setup_method(self):
+        self.views = ViewSet({"e": "a*"})
+        self.result = maximal_rewriting("a*", self.views)
+
+    def test_computed_rewriting_is_e_star(self):
+        assert to_string(self.result.regex()) == "e*"
+
+    def test_single_e_is_also_a_rewriting(self):
+        assert is_rewriting(to_nfa(parse("e")), self.result.ad, self.views)
+
+    def test_e_and_e_star_have_equal_expansions(self):
+        # Both are Sigma-maximal: their expansions define the same language.
+        assert expansions_equivalent(
+            to_nfa(parse("e")), to_nfa(parse("e*")), self.views
+        )
+
+    def test_e_is_not_sigma_e_maximal(self):
+        # L(e) is strictly contained in L(e*): the Sigma_E languages differ.
+        r1 = to_nfa(parse("e*"))
+        assert r1.accepts(("e", "e"))
+        assert not to_nfa(parse("e")).accepts(("e", "e"))
+
+    def test_rewriting_is_exact(self):
+        assert self.result.is_exact()
+
+
+class TestExample22Figure1:
+    """E0 = a.(b.a+c)*, E = {a, a.c*.b, c} -> R = e2*.e1.e3*."""
+
+    def test_rewriting_regex(self, fig1_rewriting):
+        assert to_string(fig1_rewriting.regex()) == "e2*.e1.e3*"
+
+    def test_membership_examples(self, fig1_rewriting):
+        assert fig1_rewriting.accepts(("e1",))
+        assert fig1_rewriting.accepts(("e2", "e1"))
+        assert fig1_rewriting.accepts(("e2", "e2", "e1", "e3", "e3"))
+        assert not fig1_rewriting.accepts(())
+        assert not fig1_rewriting.accepts(("e1", "e2"))
+        assert not fig1_rewriting.accepts(("e3",))
+
+    def test_expansion_soundness_examples(self, fig1_rewriting):
+        # e2.e1 expands to a.c^k.b.a subset of L(E0).
+        e0 = to_nfa(parse("a.(b.a+c)*"))
+        assert e0.accepts(tuple("acb") + ("a",))
+        assert e0.accepts(tuple("accb") + ("a",))
+
+    def test_ad_shape_matches_figure(self, fig1_rewriting):
+        # Figure 1's Ad has 3 states {s0, s1, s2}; in the minimal *total*
+        # DFA s0 and s2 merge (equal residual languages) and a sink is
+        # added, so our Ad also has exactly 3 states.
+        assert fig1_rewriting.ad.num_states == 3
+        assert fig1_rewriting.ad.is_total()
+
+    def test_a_prime_covers_all_states(self, fig1_rewriting):
+        a_prime = fig1_rewriting.a_prime
+        assert a_prime.states == fig1_rewriting.ad.states
+        # A' finals are Ad's non-finals.
+        assert a_prime.finals == fig1_rewriting.ad.states - fig1_rewriting.ad.finals
+
+
+class TestExample23:
+    def test_full_view_set_is_exact(self, fig1_rewriting):
+        assert fig1_rewriting.is_exact()
+        assert fig1_rewriting.is_exact(method="explicit")
+
+    def test_without_c_rewriting_is_e2star_e1(self):
+        views = ViewSet({"e1": "a", "e2": "a.c*.b"})
+        result = maximal_rewriting("a.(b.a+c)*", views)
+        assert to_string(result.regex()) == "e2*.e1"
+        assert not result.is_exact()
+
+    def test_without_c_counterexample_uses_c(self):
+        from repro.core.exactness import exactness_counterexample
+
+        views = ViewSet({"e1": "a", "e2": "a.c*.b"})
+        result = maximal_rewriting("a.(b.a+c)*", views)
+        witness = exactness_counterexample(result)
+        assert witness is not None
+        assert "c" in witness  # the missing view's symbol must appear

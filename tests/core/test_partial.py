@@ -1,0 +1,90 @@
+"""Partial rewritings for regular expressions (Section 4.3, Example 4.1)."""
+
+import pytest
+
+from repro.core import ViewSet, find_partial_rewritings
+from repro.core.partial import elementary_symbol_name
+from repro.regex.printer import to_string
+
+
+class TestExample41:
+    """Q0 = a.(b+c), Q = {a, b}: adding the elementary view for c yields
+    the exact rewriting q1.(q2+q3)."""
+
+    def test_minimal_addition_is_c(self):
+        solutions = find_partial_rewritings(
+            "a.(b+c)", ViewSet({"q1": "a", "q2": "b"})
+        )
+        assert len(solutions) == 1
+        assert solutions[0].added == ("c",)
+
+    def test_resulting_rewriting_shape(self):
+        solutions = find_partial_rewritings(
+            "a.(b+c)", ViewSet({"q1": "a", "q2": "b"})
+        )
+        result = solutions[0].result
+        assert result.is_exact()
+        rendered = to_string(result.regex())
+        name = elementary_symbol_name("c")
+        assert rendered in (
+            f"q1.(q2+'{name}')",
+            f"q1.('{name}'+q2)",
+        )
+
+
+class TestSearch:
+    def test_already_exact_returns_empty_addition(self):
+        solutions = find_partial_rewritings("a.b", ViewSet({"q1": "a", "q2": "b"}))
+        assert solutions[0].added == ()
+        assert solutions[0].num_added == 0
+
+    def test_all_minimal_solutions_found(self):
+        # Either adding b or adding c fixes a+b+c wrt {a} partially?  No:
+        # both are needed; the unique minimal set has size 2.
+        solutions = find_partial_rewritings(
+            "a+b+c", ViewSet({"q1": "a"}), find_all_minimal=True
+        )
+        assert len(solutions) == 1
+        assert set(solutions[0].added) == {"b", "c"}
+
+    def test_multiple_minimal_solutions(self):
+        # a.(b+c) wrt {a, b, c}: exact already; wrt {a} needs {b, c}.
+        solutions = find_partial_rewritings(
+            "a.b+a.c", ViewSet({"q1": "a.b"}), find_all_minimal=True
+        )
+        assert solutions
+        assert all(sol.result.is_exact() for sol in solutions)
+
+    def test_max_added_bound_respected(self):
+        solutions = find_partial_rewritings(
+            "a+b+c", ViewSet({"q1": "a"}), max_added=1
+        )
+        assert solutions == []
+
+    def test_candidates_restriction(self):
+        solutions = find_partial_rewritings(
+            "a.(b+c)", ViewSet({"q1": "a", "q2": "b"}), candidates=["b"]
+        )
+        assert solutions == []  # c is not offered, no exact extension exists
+
+    def test_added_views_are_elementary(self):
+        solutions = find_partial_rewritings(
+            "a.(b+c)", ViewSet({"q1": "a", "q2": "b"})
+        )
+        extended_views = solutions[0].result.views
+        name = elementary_symbol_name("c")
+        assert name in extended_views
+        assert to_string(extended_views.re(name)) == "c"
+
+    def test_first_solution_mode_stops_early(self):
+        all_solutions = find_partial_rewritings(
+            "a.b+a.c+b.c", ViewSet({"q1": "a"}), find_all_minimal=True
+        )
+        first_only = find_partial_rewritings(
+            "a.b+a.c+b.c", ViewSet({"q1": "a"}), find_all_minimal=False
+        )
+        assert len(first_only) == 1
+        assert first_only[0].added in {sol.added for sol in all_solutions}
+        assert all(
+            len(sol.added) == len(first_only[0].added) for sol in all_solutions
+        )

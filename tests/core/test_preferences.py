@@ -1,0 +1,82 @@
+"""Preference criteria 1-4 over candidate rewritings (Section 4.3)."""
+
+from repro.core import ViewSet, maximal_rewriting
+from repro.core.preferences import (
+    RewritingCandidate,
+    best_candidates,
+    compare_candidates,
+    sort_candidates,
+)
+
+
+def candidate(e0, views, elementary=(), nonelementary=()):
+    return RewritingCandidate(
+        result=maximal_rewriting(e0, ViewSet(views)),
+        added_elementary=frozenset(elementary),
+        added_nonelementary=frozenset(nonelementary),
+    )
+
+
+class TestCriterion1:
+    def test_larger_expansion_wins(self):
+        # With view c, the rewriting covers strictly more of E0.
+        bigger = candidate("a.(b+c)", {"q1": "a", "q2": "b", "q3": "c"}, elementary={"c"})
+        smaller = candidate("a.(b+c)", {"q1": "a", "q2": "b"})
+        assert compare_candidates(bigger, smaller) < 0
+        assert compare_candidates(smaller, bigger) > 0
+
+    def test_exact_beats_inexact_despite_added_views(self):
+        # Criterion 1 precedes the added-view counts.
+        exact = candidate(
+            "a.(b+c)", {"q1": "a", "q2": "b", "q3": "c"},
+            elementary={"c"},
+        )
+        inexact = candidate("a.(b+c)", {"q1": "a", "q2": "b"})
+        assert compare_candidates(exact, inexact) < 0
+
+
+class TestCriterion2And3:
+    def test_fewer_added_atomic_views_wins(self):
+        # Same language, different bookkeeping of added views.
+        left = candidate("a.b", {"q1": "a", "q2": "b"})
+        right = candidate("a.b", {"q1": "a", "q2": "b"}, elementary={"b"})
+        assert compare_candidates(left, right) < 0
+
+    def test_fewer_nonelementary_breaks_ties(self):
+        left = candidate("a.b", {"q1": "a", "q2": "b"}, elementary={"x"})
+        right = candidate("a.b", {"q1": "a", "q2": "b"}, nonelementary={"P"})
+        assert compare_candidates(left, right) < 0
+
+
+class TestCriterion4:
+    def test_fewer_used_views_wins(self):
+        # Same expansion language a*: one rewriting uses two views, the
+        # other a single view.
+        lean = candidate("a*", {"q1": "a"})
+        redundant = candidate("a*", {"q1": "a", "q2": "a.a"})
+        assert lean.used_views() < redundant.used_views()
+        assert compare_candidates(lean, redundant) < 0
+
+
+class TestAggregation:
+    def test_best_candidates_singleton(self):
+        good = candidate("a.(b+c)", {"q1": "a", "q2": "b", "q3": "c"}, elementary={"c"})
+        bad = candidate("a.(b+c)", {"q1": "a", "q2": "b"})
+        assert best_candidates([good, bad]) == [good]
+
+    def test_sort_puts_best_first(self):
+        good = candidate("a.(b+c)", {"q1": "a", "q2": "b", "q3": "c"}, elementary={"c"})
+        bad = candidate("a.(b+c)", {"q1": "a", "q2": "b"})
+        ordered = sort_candidates([bad, good])
+        assert ordered[0] is good
+
+    def test_incomparable_candidates_both_kept(self):
+        # Languages overlap without containment: no preference.
+        left = candidate("a+b", {"q1": "a"})
+        right = candidate("a+b", {"q2": "b"})
+        assert compare_candidates(left, right) == 0
+        kept = best_candidates([left, right])
+        assert set(map(id, kept)) == {id(left), id(right)}
+
+    def test_empty_input(self):
+        assert best_candidates([]) == []

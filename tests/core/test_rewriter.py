@@ -1,0 +1,145 @@
+"""Theorem 2.2: the constructed rewriting is sound and Sigma_E-maximal.
+
+The key oracle is :func:`verify_bounded_maximality`: for every Sigma_E word
+up to a length bound, the rewriting must accept the word *iff* the word's
+expansion is contained in ``L(E0)`` — this is soundness and maximality in
+one check, validated over random and structured instances.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ViewSet, maximal_rewriting
+from repro.core.maximality import verify_bounded_maximality
+from repro.regex.ast import EMPTY
+from repro.regex.random_gen import random_regex
+
+from ..conftest import regex_strategy
+
+
+class TestConstruction:
+    def test_accepts_view_symbol_for_view_language_inside_e0(self):
+        result = maximal_rewriting("a.b", {"e1": "a.b"})
+        assert result.accepts(("e1",))
+        assert not result.accepts(("e1", "e1"))
+
+    def test_empty_rewriting_when_views_useless(self):
+        result = maximal_rewriting("a", {"e1": "b"})
+        assert result.is_empty()
+
+    def test_epsilon_always_in_rewriting_when_e0_nullable(self):
+        result = maximal_rewriting("a*", {"e1": "b"})
+        # the empty Sigma_E word expands to epsilon, which is in L(a*)
+        assert result.accepts(())
+
+    def test_epsilon_not_in_rewriting_when_e0_not_nullable(self):
+        result = maximal_rewriting("a.a*", {"e1": "a"})
+        assert not result.accepts(())
+        assert result.accepts(("e1",))
+        assert result.accepts(("e1", "e1"))
+
+    def test_view_with_empty_language_is_vacuously_rewritable(self):
+        # exp of any word containing e2 is empty, hence contained in L(E0).
+        result = maximal_rewriting("a", {"e1": "a", "e2": "%empty"})
+        assert result.accepts(("e1",))
+        assert result.accepts(("e2", "e1", "e2"))
+        assert result.accepts(("e2",))
+
+    def test_view_identical_to_query(self):
+        result = maximal_rewriting("(a.b)*", {"e1": "a.b"})
+        assert result.accepts(())
+        assert result.accepts(("e1", "e1", "e1"))
+        assert result.is_exact()
+
+    def test_views_given_as_plain_iterable_are_autonamed(self):
+        result = maximal_rewriting("a.b", ["a", "b"])
+        assert result.accepts(("e1", "e2"))
+
+    def test_views_given_as_mapping(self):
+        result = maximal_rewriting("a.b", {"x": "a", "y": "b"})
+        assert result.accepts(("x", "y"))
+
+    def test_query_with_symbols_absent_from_views(self):
+        # d never appears in any view: words reaching d-parts are lost.
+        result = maximal_rewriting("a+d", {"e1": "a"})
+        assert result.accepts(("e1",))
+        assert not result.is_exact()
+
+    def test_view_symbols_outside_query_alphabet(self):
+        # The view language leaves L(E0) entirely (z is not in E0's
+        # alphabet): using it must be forbidden, not ignored.
+        result = maximal_rewriting("a", {"e1": "a", "e2": "z"})
+        assert result.accepts(("e1",))
+        assert not result.accepts(("e2",))
+
+    def test_overlapping_views(self):
+        result = maximal_rewriting("a.b.c", {"e1": "a.b", "e2": "b.c", "e3": "c", "e4": "a"})
+        assert result.accepts(("e1", "e3"))
+        assert result.accepts(("e4", "e2"))
+        assert not result.accepts(("e1", "e2"))
+
+
+class TestBoundedMaximality:
+    """The brute-force oracle agrees with the construction everywhere."""
+
+    def test_figure1_instance(self, fig1_rewriting):
+        assert verify_bounded_maximality(fig1_rewriting, 4) == []
+
+    @pytest.mark.parametrize(
+        "e0, views",
+        [
+            ("a*", {"e1": "a.a", "e2": "a"}),
+            ("(a+b)*", {"e1": "a.b", "e2": "b.a"}),
+            ("a.(b+c)*", {"e1": "a.b", "e2": "b", "e3": "c.c"}),
+            ("a.b+b.a", {"e1": "a", "e2": "b"}),
+            ("(a.b)*.c", {"e1": "a.b.a.b", "e2": "a.b", "e3": "c"}),
+            ("a*.b*", {"e1": "a*", "e2": "b.b"}),
+        ],
+    )
+    def test_structured_instances(self, e0, views):
+        result = maximal_rewriting(e0, ViewSet(views))
+        assert verify_bounded_maximality(result, 4) == []
+
+    def test_random_instances(self, rng: random.Random):
+        for trial in range(15):
+            e0 = random_regex(rng, "ab", max_size=6)
+            if isinstance(e0, EMPTY.__class__):
+                continue
+            views = ViewSet.from_list(
+                [random_regex(rng, "ab", max_size=4) for _ in range(2)]
+            )
+            result = maximal_rewriting(e0, views)
+            assert verify_bounded_maximality(result, 3) == [], (e0, views)
+
+    @given(regex_strategy(alphabet=("a", "b"), max_leaves=5))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_queries_with_fixed_views(self, e0):
+        views = ViewSet({"e1": "a", "e2": "b.a"})
+        result = maximal_rewriting(e0, views)
+        assert verify_bounded_maximality(result, 3) == []
+
+
+class TestMinimizationToggles:
+    def test_all_toggle_combinations_agree(self):
+        views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+        results = [
+            maximal_rewriting(
+                "a.(b.a+c)*", views, minimize_ad=ad, minimize_result=res
+            )
+            for ad in (True, False)
+            for res in (True, False)
+        ]
+        from itertools import product as iproduct
+
+        words = list(iproduct(views.symbols, repeat=3))
+        for word in words:
+            verdicts = {result.accepts(word) for result in results}
+            assert len(verdicts) == 1, word
+
+    def test_stats_recorded(self):
+        result = maximal_rewriting("a", {"e1": "a"})
+        assert {"ad_states", "a_prime_transitions", "rewriting_states"} <= set(
+            result.stats
+        )

@@ -1,0 +1,181 @@
+"""Block-pattern builders: shapes and membership of generated languages."""
+
+import pytest
+
+from repro.automata.thompson import to_nfa
+from repro.reductions.blocks import (
+    any_block,
+    bits,
+    block,
+    block_view_expr,
+    counter_bad_conditions,
+    highlight_bad_conditions,
+    nonzero_bits,
+    ones,
+    zeros,
+)
+
+
+def accepts(expr, word):
+    return to_nfa(expr).accepts(tuple(word))
+
+
+class TestBitPatterns:
+    def test_bits(self):
+        assert accepts(bits(2), "01")
+        assert accepts(bits(2), "11")
+        assert not accepts(bits(2), "0")
+        assert not accepts(bits(2), "012")
+
+    def test_zeros_ones(self):
+        assert accepts(zeros(3), "000")
+        assert not accepts(zeros(3), "010")
+        assert accepts(ones(2), "11")
+
+    def test_nonzero_bits(self):
+        assert accepts(nonzero_bits(3), "010")
+        assert accepts(nonzero_bits(3), "111")
+        assert not accepts(nonzero_bits(3), "000")
+        with pytest.raises(ValueError):
+            nonzero_bits(0)
+
+
+class TestBlockPattern:
+    """Block layout for n=1: $ p c x h t (6 symbols)."""
+
+    def test_any_block(self):
+        expr = any_block(1, ["t1", "t2"])
+        assert accepts(expr, ["$", "0", "1", "0", "1", "t1"])
+        assert accepts(expr, ["$", "1", "1", "1", "0", "t2"])
+        assert not accepts(expr, ["$", "0", "1", "0", "t1"])  # missing bit
+
+    def test_position_classes(self):
+        zero = block(1, ["t"], position="zero")
+        assert accepts(zero, ["$", "0", "0", "0", "0", "t"])
+        assert not accepts(zero, ["$", "1", "0", "0", "0", "t"])
+        one = block(1, ["t"], position="ones")
+        assert accepts(one, ["$", "1", "0", "0", "0", "t"])
+        nonzero = block(1, ["t"], position="nonzero")
+        assert accepts(nonzero, ["$", "1", "0", "0", "0", "t"])
+        assert not accepts(nonzero, ["$", "0", "0", "0", "0", "t"])
+        not_ones = block(1, ["t"], position="not_ones")
+        assert accepts(not_ones, ["$", "0", "1", "1", "1", "t"])
+        assert not accepts(not_ones, ["$", "1", "1", "1", "1", "t"])
+
+    def test_highlight_constraint(self):
+        lit = block(1, ["t"], highlight=1)
+        assert accepts(lit, ["$", "0", "0", "0", "1", "t"])
+        assert not accepts(lit, ["$", "0", "0", "0", "0", "t"])
+
+    def test_tile_subset(self):
+        expr = block(1, ["t1"])
+        assert not accepts(expr, ["$", "0", "0", "0", "0", "t2"])
+
+    def test_single_tile_accepts_scalar(self):
+        expr = block(1, "t1")
+        assert accepts(expr, ["$", "0", "0", "0", "0", "t1"])
+
+    def test_extra_alternative(self):
+        from repro.regex.ast import sym
+
+        expr = block(1, ["t"], extra=sym("X"))
+        assert accepts(expr, ["X"])
+        assert accepts(expr, ["$", "0", "0", "0", "0", "t"])
+
+    def test_unknown_position_class(self):
+        with pytest.raises(ValueError):
+            block(1, ["t"], position="weird")
+
+    def test_empty_tile_set(self):
+        with pytest.raises(ValueError):
+            block(1, [])
+
+    def test_view_expression(self):
+        expr = block_view_expr(1, "t")
+        assert accepts(expr, ["$", "0", "1", "0", "1", "t"])
+        assert not accepts(expr, ["$", "0", "1", "0", "1", "u"])
+
+
+class TestConditionDetectors:
+    """Each detector matches words violating its condition and only those
+    (checked on a few representative words for n=1)."""
+
+    def blockword(self, p, c, x, h, t="t"):
+        return ["$", str(p), str(c), str(x), str(h), t]
+
+    def test_condition1_detects_bad_start(self):
+        conds = counter_bad_conditions(1, ["t"])
+        cond1 = conds[0]
+        assert accepts(cond1, self.blockword(1, 1, 0, 0))
+        assert not accepts(cond1, self.blockword(0, 1, 1, 0))
+
+    def test_condition3_detects_carry0(self):
+        conds = counter_bad_conditions(1, ["t"])
+        cond3 = conds[1]  # n=1: condition (4) is vacuous, so (3) is second
+        assert accepts(cond3, self.blockword(0, 0, 0, 0))
+        assert not accepts(cond3, self.blockword(0, 1, 1, 0))
+
+    def test_condition5_detects_bad_next(self):
+        conds = counter_bad_conditions(1, ["t"])
+        cond5 = conds[2]
+        assert accepts(cond5, self.blockword(0, 1, 0, 0))  # x != p xor c
+        assert not accepts(cond5, self.blockword(0, 1, 1, 0))
+
+    def test_condition6_detects_bad_continuation(self):
+        conds = counter_bad_conditions(1, ["t"])
+        cond6 = conds[3]
+        good = self.blockword(0, 1, 1, 0) + self.blockword(1, 1, 0, 0)
+        bad = self.blockword(0, 1, 1, 0) + self.blockword(0, 1, 1, 0)
+        assert accepts(cond6, bad)
+        assert not accepts(cond6, good)
+
+    def test_end_anchor_condition2_optional(self):
+        with_anchor = counter_bad_conditions(1, ["t"], include_end_anchor=True)
+        without = counter_bad_conditions(1, ["t"])
+        assert len(with_anchor) == len(without) + 1
+        cond2 = with_anchor[1]
+        assert accepts(cond2, self.blockword(0, 1, 1, 0))  # last pos has a 0
+
+    def test_highlight_conditions_shapes(self):
+        conds = highlight_bad_conditions(1, ["t"])
+        # order: (i), (ii), (iii), (iv), (vi), then (v)
+        no_hl, one_at_ones, three, far_apart, zero_pair, differing = conds
+        # (i): any unhighlighted word, at least one block
+        assert accepts(no_hl, self.blockword(0, 1, 1, 0))
+        assert not accepts(no_hl, [])
+        assert not accepts(no_hl, self.blockword(0, 1, 1, 1))
+        # (ii): single highlight at position 1^n
+        assert accepts(one_at_ones, self.blockword(1, 1, 0, 1))
+        assert not accepts(one_at_ones, self.blockword(0, 1, 1, 1))
+        # (iii): three highlights
+        word3 = sum((self.blockword(0, 1, 1, 1) for _ in range(3)), [])
+        assert accepts(three, word3)
+        # (v): two highlights at different positions
+        diff = self.blockword(0, 1, 1, 1) + self.blockword(1, 1, 0, 1)
+        assert accepts(differing, diff)
+        same = self.blockword(0, 1, 1, 1) + self.blockword(0, 1, 1, 1)
+        assert not accepts(differing, same)
+        # (vi): two zero-position highlights with a zero between
+        leak = (
+            self.blockword(0, 1, 1, 1)
+            + self.blockword(1, 1, 0, 0)
+            + self.blockword(0, 1, 1, 0)
+            + self.blockword(1, 1, 0, 0)
+            + self.blockword(0, 1, 1, 1)
+        )
+        assert accepts(zero_pair, leak)
+
+    def test_polynomial_sizes(self):
+        # Expression sizes grow polynomially in n (the key property that
+        # makes the reductions meaningful).
+        sizes = []
+        for n in (1, 2, 3, 4):
+            total = sum(
+                expr.size()
+                for expr in counter_bad_conditions(n, ["t"])
+                + highlight_bad_conditions(n, ["t"])
+            )
+            sizes.append(total)
+        # growth between consecutive n stays well under cubic
+        for prev, nxt in zip(sizes, sizes[1:]):
+            assert nxt < prev * 8

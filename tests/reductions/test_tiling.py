@@ -1,0 +1,118 @@
+"""Tiling substrate: validation and the brute-force solver."""
+
+import pytest
+
+from repro.reductions.tiling import (
+    TilingSystem,
+    is_valid_tiling,
+    solve_corridor_tiling,
+)
+
+
+def simple_system(**overrides):
+    defaults = dict(
+        tiles=("a", "b"),
+        horizontal=frozenset({("a", "b")}),
+        vertical=frozenset({("a", "a"), ("b", "b")}),
+        t_start="a",
+        t_final="b",
+    )
+    defaults.update(overrides)
+    return TilingSystem(**defaults)
+
+
+class TestSystemValidation:
+    def test_duplicate_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            TilingSystem(("a", "a"), frozenset(), frozenset())
+
+    def test_unknown_tiles_in_relations(self):
+        with pytest.raises(ValueError):
+            TilingSystem(("a",), frozenset({("a", "z")}), frozenset())
+
+    def test_unknown_corner(self):
+        with pytest.raises(ValueError):
+            TilingSystem(("a",), frozenset(), frozenset(), t_start="z")
+
+    def test_relation_predicates(self):
+        system = simple_system()
+        assert system.h_ok("a", "b")
+        assert not system.h_ok("b", "a")
+        assert system.v_ok("a", "a")
+
+
+class TestIsValidTiling:
+    def test_valid_single_row(self):
+        assert is_valid_tiling(simple_system(), [["a", "b"]], width=2)
+
+    def test_valid_stacked(self):
+        assert is_valid_tiling(simple_system(), [["a", "b"], ["a", "b"]], width=2)
+
+    def test_horizontal_violation(self):
+        assert not is_valid_tiling(simple_system(), [["b", "a"]], width=2)
+
+    def test_vertical_violation(self):
+        system = simple_system(vertical=frozenset({("a", "a")}))
+        assert not is_valid_tiling(system, [["a", "b"], ["a", "b"]], width=2)
+
+    def test_corner_violations(self):
+        assert not is_valid_tiling(
+            simple_system(t_start="b"), [["a", "b"]], width=2
+        )
+        assert not is_valid_tiling(
+            simple_system(t_final="a"), [["a", "b"]], width=2
+        )
+
+    def test_corners_can_be_skipped(self):
+        assert is_valid_tiling(
+            simple_system(t_start="b"), [["a", "b"]], width=2, check_corners=False
+        )
+
+    def test_wrong_width_rejected(self):
+        assert not is_valid_tiling(simple_system(), [["a"]], width=2)
+        assert not is_valid_tiling(simple_system(), [], width=2)
+
+    def test_unknown_tile_rejected(self):
+        assert not is_valid_tiling(simple_system(), [["a", "z"]], width=2)
+
+
+class TestSolver:
+    def test_finds_single_row_solution(self):
+        solution = solve_corridor_tiling(simple_system(), width=2, max_rows=3)
+        assert solution == [["a", "b"]]
+
+    def test_respects_corners(self):
+        system = simple_system(t_final="a")
+        assert solve_corridor_tiling(system, width=2, max_rows=4) is None
+
+    def test_multi_row_solution(self):
+        # The final tile c only occurs in the row [d, c], which cannot be
+        # the first row (it does not start with a): two rows are needed.
+        system = TilingSystem(
+            tiles=("a", "b", "c", "d"),
+            horizontal=frozenset({("a", "b"), ("d", "c")}),
+            vertical=frozenset({("a", "d"), ("b", "c")}),
+            t_start="a",
+            t_final="c",
+        )
+        solution = solve_corridor_tiling(system, width=2, max_rows=3)
+        assert solution == [["a", "b"], ["d", "c"]]
+        assert is_valid_tiling(system, solution, width=2)
+
+    def test_no_rows_at_all(self):
+        system = TilingSystem(
+            tiles=("a",), horizontal=frozenset(), vertical=frozenset()
+        )
+        assert solve_corridor_tiling(system, width=2, max_rows=2) is None
+
+    def test_max_rows_bound(self):
+        # Needs 2 rows, but only 1 allowed.
+        system = TilingSystem(
+            tiles=("a", "b", "c", "d"),
+            horizontal=frozenset({("a", "b"), ("d", "c")}),
+            vertical=frozenset({("a", "d"), ("b", "c")}),
+            t_start="a",
+            t_final="c",
+        )
+        assert solve_corridor_tiling(system, width=2, max_rows=1) is None
+        assert solve_corridor_tiling(system, width=2, max_rows=2) is not None

@@ -1,0 +1,147 @@
+"""Unit tests for the regex AST and its smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Star,
+    Symbol,
+    Union,
+    any_of,
+    bounded_repeat,
+    concat,
+    option,
+    plus,
+    power,
+    star,
+    sym,
+    union,
+    word,
+)
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        expr = concat(concat(sym("a"), sym("b")), sym("c"))
+        assert isinstance(expr, Concat)
+        assert len(expr.parts) == 3
+
+    def test_concat_epsilon_identity(self):
+        assert concat(EPSILON, sym("a")) == sym("a")
+        assert concat(sym("a"), EPSILON) == sym("a")
+        assert concat(EPSILON, EPSILON) == EPSILON
+
+    def test_concat_empty_annihilates(self):
+        assert concat(sym("a"), EMPTY, sym("b")) == EMPTY
+
+    def test_concat_no_args_is_epsilon(self):
+        assert concat() == EPSILON
+
+    def test_union_flattens_and_dedups(self):
+        expr = union(union(sym("a"), sym("b")), sym("a"))
+        assert isinstance(expr, Union)
+        assert expr.parts == (sym("a"), sym("b"))
+
+    def test_union_empty_identity(self):
+        assert union(EMPTY, sym("a")) == sym("a")
+        assert union(EMPTY, EMPTY) == EMPTY
+
+    def test_union_epsilon_absorbed_by_star(self):
+        expr = union(EPSILON, star(sym("a")))
+        assert expr == star(sym("a"))
+
+    def test_union_preserves_first_occurrence_order(self):
+        expr = union(sym("b"), sym("a"), sym("b"))
+        assert expr.parts == (sym("b"), sym("a"))
+
+    def test_star_of_empty_and_epsilon(self):
+        assert star(EMPTY) == EPSILON
+        assert star(EPSILON) == EPSILON
+
+    def test_star_idempotent(self):
+        inner = star(sym("a"))
+        assert star(inner) == inner
+
+    def test_star_drops_epsilon_alternative(self):
+        expr = star(union(EPSILON, sym("a")))
+        assert expr == star(sym("a"))
+
+    def test_plus_and_option(self):
+        assert plus(sym("a")) == concat(sym("a"), star(sym("a")))
+        assert option(sym("a")) == union(EPSILON, sym("a"))
+
+    def test_power(self):
+        assert power(sym("a"), 0) == EPSILON
+        assert power(sym("a"), 3) == concat(sym("a"), sym("a"), sym("a"))
+        with pytest.raises(ValueError):
+            power(sym("a"), -1)
+
+    def test_word_and_any_of(self):
+        assert word("ab") == concat(sym("a"), sym("b"))
+        assert word("") == EPSILON
+        assert any_of("ab") == union(sym("a"), sym("b"))
+
+    def test_bounded_repeat(self):
+        expr = bounded_repeat(sym("a"), 0, 2)
+        assert expr == union(EPSILON, sym("a"), concat(sym("a"), sym("a")))
+        with pytest.raises(ValueError):
+            bounded_repeat(sym("a"), 2, 1)
+
+    def test_sym_rejects_regex(self):
+        with pytest.raises(TypeError):
+            sym(sym("a"))
+
+    def test_constructors_reject_non_regex(self):
+        with pytest.raises(TypeError):
+            concat(sym("a"), "b")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            union("a")  # type: ignore[arg-type]
+
+
+class TestStructure:
+    def test_alphabet(self):
+        expr = concat(sym("a"), star(union(sym("b"), sym("a"))))
+        assert expr.alphabet() == frozenset({"a", "b"})
+
+    def test_alphabet_of_constants(self):
+        assert EMPTY.alphabet() == frozenset()
+        assert EPSILON.alphabet() == frozenset()
+
+    def test_size_counts_nodes(self):
+        assert sym("a").size() == 1
+        assert EPSILON.size() == 1
+        expr = union(sym("a"), concat(sym("b"), sym("c")))
+        assert expr.size() == 1 + 1 + (1 + 1 + 1)
+
+    def test_hashable_and_equal(self):
+        left = concat(sym("a"), star(sym("b")))
+        right = concat(sym("a"), star(sym("b")))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_non_string_symbols(self):
+        expr = union(sym(1), sym((2, 3)))
+        assert expr.alphabet() == frozenset({1, (2, 3)})
+
+    def test_operator_sugar(self):
+        assert sym("a") + sym("b") == union(sym("a"), sym("b"))
+        assert sym("a") * sym("b") == concat(sym("a"), sym("b"))
+        assert sym("a").star() == star(sym("a"))
+
+    def test_predicates(self):
+        assert EMPTY.is_empty_set()
+        assert EPSILON.is_epsilon()
+        assert not sym("a").is_empty_set()
+
+    def test_iter_symbols_with_repetition(self):
+        expr = concat(sym("a"), sym("a"), sym("b"))
+        assert list(expr.iter_symbols()) == ["a", "a", "b"]
+
+    def test_star_node_accessors(self):
+        node = star(sym("a"))
+        assert isinstance(node, Star)
+        assert node.inner == sym("a")
+        assert isinstance(sym("x"), Symbol)

@@ -1,0 +1,99 @@
+"""Brzozowski derivatives: unit tests plus cross-validation against automata."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.thompson import to_nfa
+from repro.regex.ast import EMPTY, EPSILON, concat, star, sym, union, word
+from repro.regex.derivatives import (
+    derivative,
+    derivative_closure,
+    matches,
+    nullable,
+    word_derivative,
+)
+
+from ..conftest import ALPHABET, regex_strategy, words_up_to
+
+
+class TestNullable:
+    def test_constants(self):
+        assert nullable(EPSILON)
+        assert not nullable(EMPTY)
+        assert not nullable(sym("a"))
+
+    def test_star_always_nullable(self):
+        assert nullable(star(sym("a")))
+
+    def test_concat_needs_all(self):
+        assert not nullable(concat(sym("a"), star(sym("b"))))
+        assert nullable(concat(star(sym("a")), star(sym("b"))))
+
+    def test_union_needs_one(self):
+        assert nullable(union(sym("a"), EPSILON))
+        assert not nullable(union(sym("a"), sym("b")))
+
+
+class TestDerivative:
+    def test_symbol(self):
+        assert derivative(sym("a"), "a") == EPSILON
+        assert derivative(sym("a"), "b") == EMPTY
+
+    def test_constants(self):
+        assert derivative(EPSILON, "a") == EMPTY
+        assert derivative(EMPTY, "a") == EMPTY
+
+    def test_star_unrolls(self):
+        expr = star(sym("a"))
+        assert derivative(expr, "a") == expr
+
+    def test_concat_with_nullable_head(self):
+        expr = concat(star(sym("a")), sym("b"))
+        # D_b(a*b) must contain epsilon via the nullable head.
+        assert nullable(derivative(expr, "b"))
+
+    def test_word_derivative_short_circuits(self):
+        expr = word("abc")
+        assert word_derivative(expr, "abc") == EPSILON
+        assert word_derivative(expr, "abx") == EMPTY
+
+    def test_matches(self):
+        expr = concat(sym("a"), star(union(word("ba"), sym("c"))))
+        assert matches(expr, tuple("a"))
+        assert matches(expr, tuple("abacc"))
+        assert not matches(expr, tuple("ab"))
+        assert not matches(expr, ())
+
+
+class TestDerivativeClosure:
+    def test_closure_is_finite_and_transition_complete(self):
+        expr = concat(sym("a"), star(union(word("ba"), sym("c"))))
+        table = derivative_closure(expr, "abc")
+        assert expr in table
+        for row in table.values():
+            for successor in row.values():
+                assert successor in table
+
+    def test_closure_limit(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            derivative_closure(word("abcabc"), "abc", limit=2)
+
+
+class TestAgainstAutomata:
+    """Derivatives and Thompson+NFA are independent implementations; their
+    membership verdicts must agree everywhere."""
+
+    @given(regex_strategy(max_leaves=6))
+    @settings(max_examples=60, deadline=None)
+    def test_membership_agrees_on_short_words(self, expr):
+        nfa = to_nfa(expr)
+        for w in words_up_to(ALPHABET, 3):
+            assert matches(expr, w) == nfa.accepts(w), (expr, w)
+
+    @given(regex_strategy(max_leaves=5), st.lists(st.sampled_from(ALPHABET), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_membership_agrees_on_random_words(self, expr, letters):
+        w = tuple(letters)
+        assert matches(expr, w) == to_nfa(expr).accepts(w)

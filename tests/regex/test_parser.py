@@ -1,0 +1,101 @@
+"""Parser tests: paper syntax, precedence, errors, and round-tripping."""
+
+import pytest
+from hypothesis import given
+
+from repro.regex.ast import EMPTY, EPSILON, concat, option, star, sym, union
+from repro.regex.parser import RegexSyntaxError, parse
+from repro.regex.printer import to_string
+
+from ..conftest import regex_strategy
+
+
+class TestBasics:
+    def test_single_symbol(self):
+        assert parse("a") == sym("a")
+
+    def test_multichar_symbol_is_one_token(self):
+        # The paper's examples use named symbols like `rome`.
+        assert parse("rome") == sym("rome")
+
+    def test_explicit_concat(self):
+        assert parse("a.b") == concat(sym("a"), sym("b"))
+
+    def test_juxtaposition_concat(self):
+        assert parse("a b") == concat(sym("a"), sym("b"))
+        assert parse("a(b)") == concat(sym("a"), sym("b"))
+
+    def test_union(self):
+        assert parse("a+b") == union(sym("a"), sym("b"))
+
+    def test_star_and_option(self):
+        assert parse("a*") == star(sym("a"))
+        assert parse("a?") == option(sym("a"))
+
+    def test_epsilon_and_empty(self):
+        assert parse("%eps") == EPSILON
+        assert parse("%empty") == EMPTY
+        assert parse("ε") == EPSILON
+        assert parse("∅") == EMPTY
+
+    def test_quoted_symbols(self):
+        assert parse("'hello world'") == sym("hello world")
+        assert parse(r"'it\'s'") == sym("it's")
+
+    def test_middle_dot(self):
+        assert parse("a·b") == parse("a.b")
+
+
+class TestPrecedence:
+    def test_star_binds_tighter_than_concat(self):
+        assert parse("a.b*") == concat(sym("a"), star(sym("b")))
+
+    def test_concat_binds_tighter_than_union(self):
+        assert parse("a.b+c") == union(concat(sym("a"), sym("b")), sym("c"))
+
+    def test_parentheses(self):
+        assert parse("a.(b+c)") == concat(sym("a"), union(sym("b"), sym("c")))
+        assert parse("(a.b)*") == star(concat(sym("a"), sym("b")))
+
+    def test_paper_example_22(self):
+        # E0 = a.(b.a + c)* from Example 2.2
+        expected = concat(
+            sym("a"), star(union(concat(sym("b"), sym("a")), sym("c")))
+        )
+        assert parse("a.(b.a+c)*") == expected
+
+    def test_double_postfix(self):
+        assert parse("a*?") == option(star(sym("a")))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "(", "a+", "a)", "+a", "'unterminated", "%unknown", "a**b)c(", "*"],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("ab c )")
+        assert excinfo.value.position == 5
+
+    def test_dangling_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("'oops\\")
+
+
+class TestRoundTrip:
+    @given(regex_strategy())
+    def test_print_parse_roundtrip(self, expr):
+        assert parse(to_string(expr)) == expr
+
+    def test_roundtrip_quoted(self):
+        expr = concat(sym("two words"), star(sym("a")))
+        assert parse(to_string(expr)) == expr
+
+    def test_roundtrip_paper_views(self):
+        for text in ("a", "a.c*.b", "c", "a.(b.a+c)*"):
+            assert to_string(parse(text)) == text

@@ -1,0 +1,71 @@
+"""Printer tests: paper notation, parenthesization, symbol quoting."""
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, sym, union, word
+from repro.regex.printer import symbol_to_string, to_string
+
+
+class TestNotation:
+    def test_constants(self):
+        assert to_string(EMPTY) == "%empty"
+        assert to_string(EPSILON) == "%eps"
+
+    def test_symbol(self):
+        assert to_string(sym("a")) == "a"
+        assert to_string(sym("restaurant")) == "restaurant"
+
+    def test_concat_uses_dots(self):
+        assert to_string(word("abc")) == "a.b.c"
+
+    def test_union_uses_plus(self):
+        assert to_string(union(sym("a"), sym("b"))) == "a+b"
+
+    def test_star_postfix(self):
+        assert to_string(star(sym("a"))) == "a*"
+
+
+class TestParenthesization:
+    def test_union_inside_concat(self):
+        expr = concat(sym("a"), union(sym("b"), sym("c")))
+        assert to_string(expr) == "a.(b+c)"
+
+    def test_concat_inside_star(self):
+        expr = star(concat(sym("a"), sym("b")))
+        assert to_string(expr) == "(a.b)*"
+
+    def test_union_inside_star(self):
+        expr = star(union(sym("a"), sym("b")))
+        assert to_string(expr) == "(a+b)*"
+
+    def test_no_redundant_parens(self):
+        expr = union(concat(sym("a"), sym("b")), sym("c"))
+        assert to_string(expr) == "a.b+c"
+
+    def test_nested_union_keeps_grouping(self):
+        # Unions are flattened by the smart constructor, so explicitly
+        # build a nested node to check the printer's precedence handling.
+        from repro.regex.ast import Union
+
+        nested = Union((sym("a"), Union((sym("b"), sym("c")))))
+        assert to_string(nested) == "a+(b+c)"
+
+    def test_paper_figure1_rewriting(self):
+        expr = concat(star(sym("e2")), sym("e1"), star(sym("e3")))
+        assert to_string(expr) == "e2*.e1.e3*"
+
+
+class TestQuoting:
+    def test_identifier_like_unquoted(self):
+        assert symbol_to_string("a1_b$") == "a1_b$"
+
+    def test_space_quoted(self):
+        assert symbol_to_string("two words") == "'two words'"
+
+    def test_quote_escaped(self):
+        assert symbol_to_string("it's") == "'it\\'s'"
+
+    def test_non_string_symbols_render(self):
+        assert symbol_to_string(42) == "42"
+        assert symbol_to_string(("x", 1)) == "'(\\'x\\', 1)'"
+
+    def test_empty_string_symbol_quoted(self):
+        assert symbol_to_string("") == "''"

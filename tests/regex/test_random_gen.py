@@ -1,0 +1,72 @@
+"""Seeded random generators for regexes, words, and automata."""
+
+import random
+
+from repro.automata.random_gen import random_dfa, random_nfa
+from repro.regex.ast import Regex
+from repro.regex.random_gen import random_regex, random_word
+
+
+class TestRandomRegex:
+    def test_reproducible(self):
+        left = random_regex(random.Random(1), "abc", max_size=10)
+        right = random_regex(random.Random(1), "abc", max_size=10)
+        assert left == right
+
+    def test_respects_alphabet(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            expr = random_regex(rng, "xy", max_size=8)
+            assert expr.alphabet() <= {"x", "y"}
+
+    def test_size_bounded(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            expr = random_regex(rng, "ab", max_size=6)
+            assert isinstance(expr, Regex)
+            # leaves bounded by budget; tree size at most ~2x leaves
+            assert expr.size() <= 2 * 6 + 1
+
+    def test_empty_alphabet_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_regex(random.Random(0), [])
+
+
+class TestRandomWord:
+    def test_length_bound(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            word = random_word(rng, "ab", max_length=5)
+            assert len(word) <= 5
+            assert set(word) <= {"a", "b"}
+
+    def test_reproducible(self):
+        assert random_word(random.Random(9), "ab") == random_word(
+            random.Random(9), "ab"
+        )
+
+
+class TestRandomAutomata:
+    def test_random_nfa_valid_and_reproducible(self):
+        left = random_nfa(random.Random(5), 6, "ab")
+        right = random_nfa(random.Random(5), 6, "ab")
+        assert left.num_states == 6
+        assert left.finals  # never empty
+        assert sorted(left.iter_transitions(), key=repr) == sorted(
+            right.iter_transitions(), key=repr
+        )
+
+    def test_random_dfa_total(self):
+        dfa = random_dfa(random.Random(6), 5, "abc")
+        assert dfa.is_total()
+        assert dfa.finals
+
+    def test_bad_sizes_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_nfa(random.Random(0), 0, "a")
+        with pytest.raises(ValueError):
+            random_dfa(random.Random(0), 0, "a")

@@ -1,0 +1,81 @@
+"""Simplifier tests: rules fire, and the language is always preserved."""
+
+from hypothesis import given, settings
+
+from repro.automata.containment import are_equivalent
+from repro.automata.thompson import to_nfa
+from repro.regex.ast import EPSILON, Concat, concat, star, sym, union, word
+from repro.regex.simplify import simplify
+
+from ..conftest import regex_strategy
+
+
+class TestRules:
+    def test_union_idempotence(self):
+        assert simplify(union(sym("a"), sym("a"))) == sym("a")
+
+    def test_star_subsumes_body(self):
+        assert simplify(union(sym("a"), star(sym("a")))) == star(sym("a"))
+
+    def test_star_subsumes_epsilon(self):
+        assert simplify(union(EPSILON, star(sym("a")))) == star(sym("a"))
+
+    def test_unrolled_star_folds(self):
+        # eps + a.a* == a*
+        unrolled = union(EPSILON, concat(sym("a"), star(sym("a"))))
+        assert simplify(unrolled) == star(sym("a"))
+
+    def test_mirror_unrolled_star_folds(self):
+        unrolled = union(EPSILON, concat(star(sym("a")), sym("a")))
+        assert simplify(unrolled) == star(sym("a"))
+
+    def test_adjacent_stars_collapse(self):
+        expr = concat(star(sym("a")), star(sym("a")), sym("b"))
+        assert simplify(expr) == concat(star(sym("a")), sym("b"))
+
+    def test_unrolled_star_with_other_alternatives(self):
+        expr = union(EPSILON, concat(sym("a"), star(sym("a"))), sym("b"))
+        result = simplify(expr)
+        assert result == union(star(sym("a")), sym("b"))
+
+    def test_fixed_point_reached(self):
+        expr = union(
+            EPSILON,
+            concat(
+                union(sym("a"), sym("a")),
+                star(union(sym("a"), sym("a"))),
+            ),
+        )
+        assert simplify(expr) == star(sym("a"))
+
+    def test_leaves_irreducible_untouched(self):
+        expr = concat(sym("a"), union(sym("b"), sym("c")))
+        assert simplify(expr) == expr
+
+    def test_deep_nesting(self):
+        expr = star(union(concat(word("ab"), star(word("ab"))), EPSILON))
+        # (eps + ab.(ab)*)* == ((ab)*)* == (ab)*
+        assert simplify(expr) == star(word("ab"))
+
+
+class TestSoundness:
+    @given(regex_strategy(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_preserves_language(self, expr):
+        simplified = simplify(expr)
+        assert are_equivalent(to_nfa(expr), to_nfa(simplified))
+
+    @given(regex_strategy(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_never_grows(self, expr):
+        assert simplify(expr).size() <= expr.size()
+
+    def test_simplify_is_idempotent_on_examples(self):
+        samples = [
+            union(EPSILON, concat(sym("a"), star(sym("a")))),
+            concat(star(sym("a")), star(sym("a"))),
+            union(sym("a"), star(sym("a")), sym("b")),
+        ]
+        for expr in samples:
+            once = simplify(expr)
+            assert simplify(once) == once

@@ -1,0 +1,78 @@
+"""View-based answering without base-data access (data integration)."""
+
+import pytest
+
+from repro.rpq import (
+    GraphDB,
+    RPQViews,
+    Theory,
+    answer_with_views,
+    evaluate,
+    rewrite_rpq,
+    rewriting_is_complete_on,
+    rewriting_is_sound_on,
+)
+
+
+@pytest.fixture
+def theory():
+    return Theory.trivial({"a", "b"})
+
+
+@pytest.fixture
+def views():
+    return RPQViews({"q1": "a", "q2": "b"})
+
+
+class TestAnswerWithViews:
+    def test_answers_from_extensions_only(self, theory, views):
+        result = rewrite_rpq("a.b", views, theory)
+        # The mediator never sees a database — just view extensions.
+        extensions = {
+            "q1": [("u", "v"), ("w", "v")],
+            "q2": [("v", "z")],
+        }
+        answers = answer_with_views(result, extensions)
+        assert answers == frozenset({("u", "z"), ("w", "z")})
+
+    def test_empty_extensions_give_no_answers(self, theory, views):
+        result = rewrite_rpq("a.b", views, theory)
+        assert answer_with_views(result, {"q1": [], "q2": []}) == frozenset()
+
+    def test_star_rewriting_over_extensions(self, theory, views):
+        result = rewrite_rpq("a*", views, theory)
+        extensions = {"q1": [("x", "y"), ("y", "z")], "q2": []}
+        answers = answer_with_views(result, extensions)
+        assert ("x", "z") in answers  # q1.q1
+        assert ("x", "x") in answers  # empty word: reflexive pairs
+
+    def test_extensions_consistent_with_database(self, theory, views):
+        # Extensions computed from a DB give the same answers as answer().
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        result = rewrite_rpq("a.b", views, theory)
+        extensions = views.materialize(db, theory)
+        assert answer_with_views(result, extensions) == result.answer(db)
+
+
+class TestSoundnessHelpers:
+    def test_sound_and_complete_when_exact(self, theory, views):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z"), ("z", "a", "x")])
+        result = rewrite_rpq("a.b", views, theory)
+        assert result.is_exact()
+        assert rewriting_is_sound_on(result, "a.b", db)
+        assert rewriting_is_complete_on(result, "a.b", db)
+
+    def test_incomplete_when_views_miss_labels(self, theory):
+        views = RPQViews({"q1": "a"})
+        db = GraphDB([("x", "a", "y"), ("x", "b", "z")])
+        result = rewrite_rpq("a+b", views, theory)
+        assert rewriting_is_sound_on(result, "a+b", db)
+        assert not rewriting_is_complete_on(result, "a+b", db)
+
+    def test_completeness_may_hold_incidentally(self, theory):
+        # Rewriting not exact, but this DB has no 'b' edges at all.
+        views = RPQViews({"q1": "a"})
+        db = GraphDB([("x", "a", "y")])
+        result = rewrite_rpq("a+b", views, theory)
+        assert not result.is_exact()
+        assert rewriting_is_complete_on(result, "a+b", db)

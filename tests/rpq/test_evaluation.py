@@ -1,0 +1,142 @@
+"""RPQ evaluation (Definition 4.2): direct labels and formula queries."""
+
+import random
+
+import pytest
+
+from repro.regex.ast import concat, star, sym
+from repro.rpq import (
+    RPQ,
+    GraphDB,
+    Pred,
+    Theory,
+    ans,
+    evaluate,
+    evaluate_from,
+    path_graph,
+    random_graph,
+)
+from repro.rpq.formulas import TOP
+from repro.automata.thompson import to_nfa
+from repro.regex.parser import parse
+
+
+@pytest.fixture
+def city_db():
+    db = GraphDB()
+    db.add_edge("home", "rome", "hotel")
+    db.add_edge("hotel", "bus", "center")
+    db.add_edge("center", "trattoria", "dinner")
+    db.add_edge("home", "paris", "louvre")
+    db.add_edge("louvre", "bistro", "dinner2")
+    return db
+
+
+@pytest.fixture
+def city_theory():
+    return Theory(
+        domain={"rome", "paris", "bus", "trattoria", "bistro"},
+        predicates={
+            "City": {"rome", "paris"},
+            "Restaurant": {"trattoria", "bistro"},
+        },
+    )
+
+
+class TestDirectLabelQueries:
+    def test_single_edge(self, city_db):
+        assert evaluate(city_db, "rome") == frozenset({("home", "hotel")})
+
+    def test_concatenation(self, city_db):
+        assert evaluate(city_db, "rome.bus") == frozenset({("home", "center")})
+
+    def test_union_and_star(self, city_db):
+        result = evaluate(city_db, "(rome+paris).(bus+bistro)*")
+        assert ("home", "hotel") in result
+        assert ("home", "center") in result
+        assert ("home", "louvre") in result
+
+    def test_epsilon_returns_all_nodes(self, city_db):
+        result = evaluate(city_db, "%eps")
+        assert result == frozenset((x, x) for x in city_db.nodes)
+
+    def test_no_match(self, city_db):
+        assert evaluate(city_db, "bus.rome") == frozenset()
+
+    def test_on_path_graph(self):
+        db = path_graph(["a", "b", "a"])
+        assert ("x0", "x3") in evaluate(db, "a.b.a")
+        assert ("x1", "x3") in evaluate(db, "b.a")
+
+    def test_cyclic_graph(self):
+        db = GraphDB([("x", "a", "y"), ("y", "a", "x")])
+        result = evaluate(db, "(a.a)*")
+        assert ("x", "x") in result
+        assert ("y", "y") in result
+        result_odd = evaluate(db, "a.(a.a)*")
+        assert ("x", "y") in result_odd
+
+
+class TestFormulaQueries:
+    def test_intro_query_shape(self, city_db, city_theory):
+        # _* . City . _* . Restaurant — the paper's introduction query,
+        # lifted to predicates.
+        expr = concat(
+            star(sym(TOP)), sym(Pred("City")), star(sym(TOP)), sym(Pred("Restaurant"))
+        )
+        result = evaluate(city_db, RPQ(expr), city_theory)
+        assert ("home", "dinner") in result
+        assert ("home", "dinner2") in result
+        assert ("hotel", "dinner") not in result  # no City edge on that path
+
+    def test_pred_query(self, city_db, city_theory):
+        result = evaluate(city_db, RPQ(sym(Pred("City"))), city_theory)
+        assert result == frozenset({("home", "hotel"), ("home", "louvre")})
+
+    def test_formula_query_requires_theory(self, city_db):
+        with pytest.raises(ValueError):
+            evaluate(city_db, RPQ(sym(Pred("City"))))
+
+    def test_mixed_plain_and_formula_symbols(self, city_db, city_theory):
+        expr = concat(sym("rome"), sym(TOP))
+        result = evaluate(city_db, RPQ(expr), city_theory)
+        assert result == frozenset({("home", "center")})
+
+
+class TestAnsAndSingleSource:
+    def test_ans_matches_evaluate_for_plain_queries(self, city_db):
+        language = to_nfa(parse("rome.bus"))
+        assert ans(language, city_db) == evaluate(city_db, "rome.bus")
+
+    def test_evaluate_from(self, city_db):
+        result = evaluate_from(city_db, "home", "(rome+paris)")
+        assert result == frozenset({"hotel", "louvre"})
+
+    def test_evaluate_from_unknown_node(self, city_db):
+        with pytest.raises(KeyError):
+            evaluate_from(city_db, "nowhere", "rome")
+
+    def test_agreement_on_random_graphs(self):
+        rng = random.Random(17)
+        for _ in range(5):
+            db = random_graph(rng, 6, ["a", "b"], 12)
+            full = evaluate(db, "a.b*")
+            for node in db.nodes:
+                from_node = evaluate_from(db, node, "a.b*")
+                assert from_node == frozenset(y for x, y in full if x == node)
+
+
+class TestSemanticsAgainstBruteForce:
+    def test_answers_match_path_enumeration(self):
+        rng = random.Random(23)
+        db = random_graph(rng, 5, ["a", "b"], 10)
+        query = "a.(b+a)"
+        expected = set()
+        for x in db.nodes:
+            for l1, m in db.out_edges(x):
+                if l1 != "a":
+                    continue
+                for l2, y in db.out_edges(m):
+                    if l2 in ("a", "b"):
+                        expected.add((x, y))
+        assert evaluate(db, query) == frozenset(expected)

@@ -1,0 +1,86 @@
+"""Graph database tests."""
+
+import random
+
+import pytest
+
+from repro.rpq.graphdb import GraphDB, path_graph, random_graph
+
+
+class TestBasics:
+    def test_add_edge_registers_nodes_and_labels(self):
+        db = GraphDB()
+        db.add_edge("x", "a", "y")
+        assert db.nodes == frozenset({"x", "y"})
+        assert db.domain() == frozenset({"a"})
+        assert db.num_edges == 1
+
+    def test_duplicate_edges_stored_once(self):
+        db = GraphDB()
+        db.add_edge("x", "a", "y")
+        db.add_edge("x", "a", "y")
+        assert db.num_edges == 1
+
+    def test_parallel_edges_different_labels(self):
+        db = GraphDB()
+        db.add_edge("x", "a", "y")
+        db.add_edge("x", "b", "y")
+        assert db.num_edges == 2
+        assert db.successors("x", "a") == frozenset({"y"})
+        assert db.successors("x", "b") == frozenset({"y"})
+
+    def test_isolated_node(self):
+        db = GraphDB()
+        db.add_node("lonely")
+        assert "lonely" in db.nodes
+        assert list(db.out_edges("lonely")) == []
+
+    def test_construct_from_triples(self):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        assert db.num_edges == 2
+        assert db.successors("y", "b") == frozenset({"z"})
+
+    def test_edges_iterator(self):
+        triples = {("x", "a", "y"), ("y", "b", "z")}
+        db = GraphDB(triples)
+        assert set(db.edges()) == triples
+
+    def test_add_path(self):
+        db = GraphDB()
+        db.add_path("n0", ["a", "b"], ["n1", "n2"])
+        assert db.has_path("n0", ["a", "b"])
+        with pytest.raises(ValueError):
+            db.add_path("n0", ["a"], [])
+
+
+class TestHasPath:
+    def test_path_exists(self):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        assert db.has_path("x", ["a", "b"])
+        assert not db.has_path("x", ["b"])
+        assert db.has_path("x", [])
+
+    def test_branching_paths(self):
+        db = GraphDB([("x", "a", "y1"), ("x", "a", "y2"), ("y2", "b", "z")])
+        assert db.has_path("x", ["a", "b"])
+
+
+class TestGenerators:
+    def test_path_graph(self):
+        db = path_graph(["a", "b", "c"])
+        assert db.num_nodes == 4
+        assert db.has_path("x0", ["a", "b", "c"])
+
+    def test_empty_path_graph(self):
+        db = path_graph([])
+        assert db.num_nodes == 1
+
+    def test_random_graph_reproducible(self):
+        left = random_graph(random.Random(3), 10, ["a", "b"], 20)
+        right = random_graph(random.Random(3), 10, ["a", "b"], 20)
+        assert set(left.edges()) == set(right.edges())
+
+    def test_random_graph_shape(self):
+        db = random_graph(random.Random(5), 6, ["a"], 12)
+        assert db.num_nodes == 6
+        assert db.num_edges <= 12

@@ -1,0 +1,95 @@
+"""Partial rewritings of RPQs with atomic views (Section 4.3)."""
+
+import pytest
+
+from repro.regex.ast import sym
+from repro.rpq import (
+    RPQ,
+    Pred,
+    RPQViews,
+    Theory,
+    atomic_view_name,
+    find_partial_rpq_rewritings,
+)
+
+
+@pytest.fixture
+def theory():
+    return Theory(
+        domain={"a1", "a2", "b1"},
+        predicates={"A": {"a1", "a2"}, "B": {"a1", "a2", "b1"}},
+    )
+
+
+class TestSearch:
+    def test_already_exact(self, theory):
+        q0 = RPQ(sym(Pred("A")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(q0, views, theory)
+        assert solutions[0].num_added == 0
+
+    def test_atomic_predicate_view_fixes_gap(self, theory):
+        # Q0 = B, views = {A}: adding the atomic view for B (or the
+        # elementary view for b1) yields exactness; both are minimal.
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(
+            q0, views, theory, find_all_minimal=True
+        )
+        assert solutions
+        assert all(sol.num_added == 1 for sol in solutions)
+        kinds = {
+            (sol.added_predicates, sol.added_constants) for sol in solutions
+        }
+        assert (("B",), ()) in kinds
+        assert ((), ("b1",)) in kinds
+
+    def test_elementary_only_search(self, theory):
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(
+            q0, views, theory, allow_predicates=False
+        )
+        assert solutions
+        assert solutions[0].added_predicates == ()
+        assert solutions[0].added_constants == ("b1",)
+
+    def test_predicates_only_search(self, theory):
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(
+            q0, views, theory, allow_elementary=False
+        )
+        assert solutions
+        assert solutions[0].added_predicates == ("B",)
+
+    def test_elementary_preferred_at_equal_size(self, theory):
+        # Criterion 3: at equal total count, fewer non-elementary views.
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(q0, views, theory)
+        first = solutions[0]
+        assert first.added_predicates == ()  # elementary tried first
+
+    def test_max_added_zero_means_no_search(self, theory):
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solutions = find_partial_rpq_rewritings(q0, views, theory, max_added=0)
+        assert solutions == []
+
+    def test_result_is_exact_and_usable(self, theory):
+        from repro.rpq import GraphDB, evaluate
+
+        q0 = RPQ(sym(Pred("B")))
+        views = RPQViews({"qA": RPQ(sym(Pred("A")))})
+        solution = find_partial_rpq_rewritings(q0, views, theory)[0]
+        assert solution.result.is_exact()
+        db = GraphDB([("x", "a1", "y"), ("y", "b1", "z")])
+        via_views = solution.result.answer(db)
+        assert via_views == evaluate(db, q0, theory)
+
+
+class TestNames:
+    def test_atomic_view_name(self):
+        assert atomic_view_name(Pred("B")) == "q[B]"
+        assert atomic_view_name("b1") == "q[=b1]"

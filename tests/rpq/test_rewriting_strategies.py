@@ -1,0 +1,118 @@
+"""The two step-2 strategies and constant partitioning must agree.
+
+The paper presents grounding (building ``Q*``) and the grounding-free
+product construction as equivalent ways to compute ``A'``, plus the
+constant-partitioning optimization; this is the SEC42OPT experiment of
+DESIGN.md.
+"""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.regex.ast import concat, star, sym
+from repro.rpq import RPQ, Pred, RPQViews, Theory, rewrite_rpq
+from repro.rpq.formulas import TOP
+
+
+def big_theory():
+    # 12 constants, 3 predicates — partitioning collapses many classes.
+    domain = {f"c{i}" for i in range(12)}
+    return Theory(
+        domain=domain,
+        predicates={
+            "P": {f"c{i}" for i in range(0, 8)},
+            "Q": {f"c{i}" for i in range(4, 12)},
+            "R": {"c0"},
+        },
+    )
+
+
+QUERIES = [
+    RPQ(sym(Pred("P"))),
+    RPQ(concat(sym(Pred("P")), star(sym(Pred("Q"))))),
+    RPQ(concat(star(sym(TOP)), sym(Pred("R")))),
+]
+
+VIEWS = [
+    RPQViews({"v1": RPQ(sym(Pred("P"))), "v2": RPQ(sym(Pred("Q")))}),
+    RPQViews(
+        {
+            "v1": RPQ(concat(sym(Pred("P")), sym(Pred("Q")))),
+            "v2": RPQ(sym(Pred("R"))),
+            "v3": RPQ(star(sym(Pred("Q")))),
+        }
+    ),
+]
+
+
+def all_words(symbols, max_length):
+    for length in range(max_length + 1):
+        yield from product(symbols, repeat=length)
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    @pytest.mark.parametrize("views_index", range(len(VIEWS)))
+    def test_ground_vs_product(self, query_index, views_index):
+        theory = big_theory()
+        q0, views = QUERIES[query_index], VIEWS[views_index]
+        ground = rewrite_rpq(q0, views, theory, strategy="ground")
+        product_r = rewrite_rpq(q0, views, theory, strategy="product")
+        for word in all_words(views.symbols, 3):
+            assert ground.accepts(word) == product_r.accepts(word), word
+
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    def test_partitioned_vs_full_alphabet(self, query_index):
+        theory = big_theory()
+        q0, views = QUERIES[query_index], VIEWS[0]
+        full = rewrite_rpq(q0, views, theory, partition=False)
+        small = rewrite_rpq(q0, views, theory, partition=True)
+        assert small.stats["alphabet_size"] < full.stats["alphabet_size"]
+        for word in all_words(views.symbols, 3):
+            assert full.accepts(word) == small.accepts(word), word
+
+    @pytest.mark.parametrize("strategy", ["ground", "product"])
+    def test_exactness_stable_across_options(self, strategy):
+        theory = big_theory()
+        q0, views = QUERIES[0], VIEWS[0]
+        verdicts = {
+            rewrite_rpq(q0, views, theory, strategy=strategy, partition=p).is_exact()
+            for p in (False, True)
+        }
+        assert len(verdicts) == 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            rewrite_rpq(QUERIES[0], VIEWS[0], big_theory(), strategy="nope")
+
+
+class TestPartitioningRespectsPlainSymbols:
+    def test_plain_symbols_stay_distinguishable(self):
+        # c0 appears literally in the query: it must not merge with c1 even
+        # though no predicate separates them.
+        theory = Theory(domain={"c0", "c1", "c2"})
+        q0 = RPQ("c0")
+        views = RPQViews({"v1": "c0", "v2": "c1"})
+        result = rewrite_rpq(q0, views, theory, partition=True)
+        assert result.accepts(("v1",))
+        assert not result.accepts(("v2",))
+
+    def test_random_plain_instances_with_partitioning(self):
+        rng = random.Random(31)
+        theory = Theory.trivial({"a", "b", "c", "d", "e"})
+        for _ in range(5):
+            from repro.regex.random_gen import random_regex
+
+            q0 = RPQ(random_regex(rng, "ab", max_size=5))
+            views = RPQViews(
+                {
+                    "v1": RPQ(random_regex(rng, "ab", max_size=3)),
+                    "v2": RPQ(random_regex(rng, "ab", max_size=3)),
+                }
+            )
+            full = rewrite_rpq(q0, views, theory, partition=False)
+            small = rewrite_rpq(q0, views, theory, partition=True)
+            for word in all_words(views.symbols, 3):
+                assert full.accepts(word) == small.accepts(word)

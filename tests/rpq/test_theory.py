@@ -1,0 +1,110 @@
+"""Theories and the formula language (Section 4.1)."""
+
+import pytest
+
+from repro.rpq.formulas import TOP, And, Const, Not, Or, Pred
+from repro.rpq.theory import Theory
+
+
+@pytest.fixture
+def theory():
+    return Theory(
+        domain={"rome", "jerusalem", "paris", "pizzeria"},
+        predicates={
+            "City": {"rome", "jerusalem", "paris"},
+            "Holy": {"jerusalem", "rome"},
+            "Restaurant": {"pizzeria"},
+        },
+    )
+
+
+class TestTheory:
+    def test_domain_required(self):
+        with pytest.raises(ValueError):
+            Theory(domain=set())
+
+    def test_extension_must_be_in_domain(self):
+        with pytest.raises(ValueError):
+            Theory(domain={"a"}, predicates={"P": {"b"}})
+
+    def test_predicate_holds(self, theory):
+        assert theory.predicate_holds("City", "rome")
+        assert not theory.predicate_holds("City", "pizzeria")
+
+    def test_unknown_predicate(self, theory):
+        with pytest.raises(KeyError):
+            theory.predicate_holds("Nope", "rome")
+
+    def test_entails_requires_domain_constant(self, theory):
+        with pytest.raises(ValueError):
+            theory.entails(Pred("City"), "atlantis")
+
+    def test_trivial_theory(self):
+        theory = Theory.trivial({"a", "b"})
+        assert theory.entails(Const("a"), "a")
+        assert not theory.entails(Const("a"), "b")
+
+
+class TestFormulas:
+    def test_const(self, theory):
+        assert theory.entails(Const("rome"), "rome")
+        assert not theory.entails(Const("rome"), "paris")
+
+    def test_pred(self, theory):
+        assert theory.entails(Pred("Holy"), "jerusalem")
+        assert not theory.entails(Pred("Holy"), "paris")
+
+    def test_top(self, theory):
+        for constant in theory.domain:
+            assert theory.entails(TOP, constant)
+
+    def test_boolean_connectives(self, theory):
+        city_not_holy = And((Pred("City"), Not(Pred("Holy"))))
+        assert theory.entails(city_not_holy, "paris")
+        assert not theory.entails(city_not_holy, "rome")
+        either = Or((Pred("Restaurant"), Pred("Holy")))
+        assert theory.entails(either, "pizzeria")
+        assert theory.entails(either, "rome")
+        assert not theory.entails(either, "paris")
+
+    def test_operator_sugar(self, theory):
+        assert theory.entails(Pred("City") & Pred("Holy"), "rome")
+        assert theory.entails(Pred("City") | Pred("Restaurant"), "pizzeria")
+        assert theory.entails(~Pred("City"), "pizzeria")
+
+    def test_formulas_are_hashable(self):
+        assert hash(Pred("City")) == hash(Pred("City"))
+        assert Pred("City") == Pred("City")
+        assert len({Const("a"), Const("a"), Const("b")}) == 2
+
+    def test_str_rendering(self, theory):
+        assert str(Pred("City")) == "City"
+        assert str(Const("rome")) == "=rome"
+        assert str(~Pred("City")) == "!City"
+        assert str(TOP) == "_"
+
+
+class TestSatisfyingAndMatching:
+    def test_satisfying(self, theory):
+        assert theory.satisfying(Pred("Holy")) == frozenset({"rome", "jerusalem"})
+        assert theory.satisfying(TOP) == theory.domain
+
+    def test_matches_definition_41(self, theory):
+        formulas = [Pred("City"), Pred("Restaurant")]
+        assert theory.matches(formulas, ["rome", "pizzeria"])
+        assert not theory.matches(formulas, ["pizzeria", "rome"])
+        assert not theory.matches(formulas, ["rome"])  # length mismatch
+
+    def test_partition_by_signature(self, theory):
+        classes = theory.partition([Pred("City"), Pred("Holy")])
+        as_sets = {frozenset(block) for block in classes}
+        assert frozenset({"rome", "jerusalem"}) in as_sets
+        assert frozenset({"paris"}) in as_sets
+        assert frozenset({"pizzeria"}) in as_sets
+
+    def test_representatives_are_consistent(self, theory):
+        mapping = theory.representatives([Pred("City")])
+        assert set(mapping) == theory.domain
+        # All cities map to the same representative.
+        assert mapping["rome"] == mapping["paris"]
+        assert mapping["rome"] != mapping["pizzeria"]

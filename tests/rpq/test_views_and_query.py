@@ -1,0 +1,116 @@
+"""View sets, materialization, the view graph, and RPQ grounding."""
+
+import pytest
+
+from repro.regex.ast import concat, sym
+from repro.rpq import (
+    RPQ,
+    Const,
+    GraphDB,
+    Pred,
+    RPQViews,
+    Theory,
+    view_graph,
+)
+
+
+@pytest.fixture
+def theory():
+    return Theory(
+        domain={"a", "b", "c"},
+        predicates={"P": {"a", "b"}},
+    )
+
+
+class TestRPQ:
+    def test_from_string(self):
+        rpq = RPQ("a.b*", name="test")
+        assert rpq.name == "test"
+        assert rpq.nfa().accepts(("a", "b"))
+
+    def test_from_regex_with_formulas(self):
+        rpq = RPQ(sym(Pred("P")))
+        assert rpq.formulas() == frozenset({Pred("P")})
+
+    def test_from_rpq_copies(self):
+        inner = RPQ("a", name="inner")
+        outer = RPQ(inner)
+        assert outer.name == "inner"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            RPQ(42)  # type: ignore[arg-type]
+
+    def test_as_formula_query(self, theory):
+        lifted = RPQ("a.b").as_formula_query()
+        assert lifted.formulas() == frozenset({Const("a"), Const("b")})
+        grounded = lifted.grounded(theory)
+        assert grounded.accepts(("a", "b"))
+        assert not grounded.accepts(("b", "a"))
+
+    def test_grounded_expands_formulas(self, theory):
+        rpq = RPQ(sym(Pred("P")))
+        grounded = rpq.grounded(theory)
+        assert grounded.accepts(("a",))
+        assert grounded.accepts(("b",))
+        assert not grounded.accepts(("c",))
+
+    def test_grounded_restrict_to(self, theory):
+        rpq = RPQ(sym(Pred("P")))
+        grounded = rpq.grounded(theory, restrict_to={"a", "c"})
+        assert grounded.accepts(("a",))
+        assert not grounded.accepts(("b",))
+
+    def test_grounded_rejects_unknown_constant(self, theory):
+        with pytest.raises(ValueError):
+            RPQ("zz").grounded(theory)
+
+    def test_grounded_mixed_symbols(self, theory):
+        rpq = RPQ(concat(sym("c"), sym(Pred("P"))))
+        grounded = rpq.grounded(theory)
+        assert grounded.accepts(("c", "a"))
+        assert not grounded.accepts(("a", "c"))
+
+
+class TestRPQViews:
+    def test_symbols_ordered(self):
+        views = RPQViews({"q1": "a", "q2": "b"})
+        assert views.symbols == ("q1", "q2")
+        assert "q1" in views
+        assert len(views) == 2
+
+    def test_from_list(self):
+        views = RPQViews.from_list(["a", "b.c"])
+        assert views.symbols == ("q1", "q2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RPQViews({})
+
+    def test_extended_rejects_duplicates(self):
+        views = RPQViews({"q1": "a"})
+        with pytest.raises(ValueError):
+            views.extended({"q1": "b"})
+
+    def test_formulas_aggregated(self):
+        views = RPQViews({"q1": RPQ(sym(Pred("P"))), "q2": "a"})
+        assert views.formulas() == frozenset({Pred("P")})
+
+    def test_materialize(self, theory):
+        db = GraphDB([("x", "a", "y"), ("y", "c", "z")])
+        views = RPQViews({"qP": RPQ(sym(Pred("P"))), "qc": "c"})
+        extensions = views.materialize(db, theory)
+        assert extensions["qP"] == frozenset({("x", "y")})
+        assert extensions["qc"] == frozenset({("y", "z")})
+
+
+class TestViewGraph:
+    def test_edges_from_extensions(self):
+        graph = view_graph({"q1": [("x", "y"), ("y", "z")], "q2": [("x", "z")]})
+        assert graph.successors("x", "q1") == frozenset({"y"})
+        assert graph.successors("x", "q2") == frozenset({"z"})
+        assert graph.num_edges == 3
+
+    def test_empty_extensions(self):
+        graph = view_graph({"q1": []})
+        assert graph.num_edges == 0

@@ -1,0 +1,103 @@
+"""Public API surface: exports exist, __all__ is accurate, docs present."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.regex",
+    "repro.automata",
+    "repro.core",
+    "repro.rpq",
+    "repro.reductions",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for entry in module.__all__:
+        assert hasattr(module, entry), f"{name}.__all__ lists missing {entry}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "repro.regex.ast",
+        "repro.regex.parser",
+        "repro.regex.printer",
+        "repro.regex.derivatives",
+        "repro.regex.simplify",
+        "repro.automata.nfa",
+        "repro.automata.dfa",
+        "repro.automata.thompson",
+        "repro.automata.determinize",
+        "repro.automata.minimize",
+        "repro.automata.operations",
+        "repro.automata.emptiness",
+        "repro.automata.containment",
+        "repro.automata.state_elim",
+        "repro.automata.isomorphism",
+        "repro.core.rewriter",
+        "repro.core.exactness",
+        "repro.core.expansion",
+        "repro.core.emptiness",
+        "repro.core.maximality",
+        "repro.core.partial",
+        "repro.core.preferences",
+        "repro.core.containing",
+        "repro.core.diagnostics",
+        "repro.rpq.graphdb",
+        "repro.rpq.query",
+        "repro.rpq.evaluation",
+        "repro.rpq.theory",
+        "repro.rpq.formulas",
+        "repro.rpq.views",
+        "repro.rpq.rewriting",
+        "repro.rpq.answering",
+        "repro.rpq.partial",
+        "repro.rpq.generalized",
+        "repro.reductions.tiling",
+        "repro.reductions.blocks",
+        "repro.reductions.expspace",
+        "repro.reductions.counter",
+        "repro.reductions.twoexpspace",
+        "repro.cli",
+    ],
+)
+def test_module_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 30, name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_runs():
+    from repro import ViewSet, maximal_rewriting
+
+    views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+    result = maximal_rewriting("a.(b.a+c)*", views)
+    assert str(result.regex()) == "e2*.e1.e3*"
+    assert result.is_exact()
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    import repro.core as core
+
+    for entry in core.__all__:
+        obj = getattr(core, entry)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"repro.core.{entry} lacks a docstring"

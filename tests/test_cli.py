@@ -1,0 +1,102 @@
+"""CLI tests (direct main() invocation; no subprocesses needed)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRewrite:
+    def test_figure1(self, capsys):
+        code = main(
+            [
+                "rewrite",
+                "--query", "a.(b.a+c)*",
+                "--view", "e1=a",
+                "--view", "e2=a.c*.b",
+                "--view", "e3=c",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewriting: e2*.e1.e3*" in out
+        assert "exact: True" in out
+
+    def test_inexact_reports_witness(self, capsys):
+        main(
+            [
+                "rewrite",
+                "--query", "a.(b.a+c)*",
+                "--view", "e1=a",
+                "--view", "e2=a.c*.b",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "exact: False" in out
+        assert "missed query word:" in out
+
+    def test_partial_search(self, capsys):
+        main(
+            [
+                "rewrite",
+                "--query", "a.(b+c)",
+                "--view", "q1=a",
+                "--view", "q2=b",
+                "--partial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "add elementary views for c" in out
+
+    def test_dot_output(self, capsys):
+        main(
+            ["rewrite", "--query", "a", "--view", "e1=a", "--dot"]
+        )
+        out = capsys.readouterr().out
+        assert "digraph rewriting" in out
+
+    def test_bad_view_definition(self):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "--query", "a", "--view", "nonsense"])
+
+
+class TestCheck:
+    def test_nonempty(self, capsys):
+        code = main(["check", "--query", "a*", "--view", "e1=a"])
+        assert code == 0
+        assert "nonempty" in capsys.readouterr().out
+
+    def test_empty_sets_exit_code(self, capsys):
+        code = main(["check", "--query", "a", "--view", "e1=b"])
+        assert code == 1
+        assert "empty" in capsys.readouterr().out
+
+    def test_epsilon_witness_rendering(self, capsys):
+        code = main(["check", "--query", "a*", "--view", "e1=b"])
+        assert code == 0
+        assert "(empty word)" in capsys.readouterr().out
+
+
+class TestEval:
+    def test_evaluates_graph_file(self, tmp_path, capsys):
+        graph = tmp_path / "edges.tsv"
+        graph.write_text("x\ta\ty\ny\tb\tz\n# comment\n\n")
+        code = main(["eval", "--graph", str(graph), "--query", "a.b"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "x\tz" in captured.out
+        assert "1 answers" in captured.err
+
+    def test_malformed_line_rejected(self, tmp_path):
+        graph = tmp_path / "bad.tsv"
+        graph.write_text("only two\tfields\n")
+        with pytest.raises(SystemExit):
+            main(["eval", "--graph", str(graph), "--query", "a"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401

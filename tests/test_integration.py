@@ -1,0 +1,189 @@
+"""End-to-end integration scenarios crossing all packages.
+
+Each scenario exercises a realistic pipeline: parse -> rewrite -> check ->
+answer, mixing the regex, automata, core and rpq layers the way a user
+would.
+"""
+
+import random
+
+from repro import ViewSet, maximal_rewriting
+from repro.automata import are_equivalent, to_nfa as compile_nfa
+from repro.core import existential_rewriting, find_partial_rewritings
+from repro.regex import parse, simplify, to_string
+from repro.regex.ast import concat, star, sym
+from repro.rpq import (
+    RPQ,
+    GeneralizedPathQuery,
+    GraphDB,
+    Pred,
+    RPQViews,
+    Theory,
+    evaluate,
+    evaluate_gpq,
+    random_graph,
+    rewrite_gpq,
+    rewrite_rpq,
+)
+
+
+class TestWarehouseScenario:
+    """A warehouse materializes views; queries run against them only."""
+
+    def setup_method(self):
+        self.theory = Theory.trivial({"part_of", "supplied_by", "located_in"})
+        self.db = GraphDB()
+        rng = random.Random(99)
+        parts = [f"part{i}" for i in range(8)]
+        for i, part in enumerate(parts[1:], start=1):
+            self.db.add_edge(part, "part_of", parts[rng.randrange(i)])
+        for part in parts:
+            self.db.add_edge(part, "supplied_by", f"supplier_{rng.randrange(3)}")
+        for supplier in range(3):
+            self.db.add_edge(
+                f"supplier_{supplier}", "located_in", f"city_{supplier % 2}"
+            )
+
+    def test_transitive_query_through_views(self):
+        q0 = "part_of*.supplied_by.located_in"
+        views = RPQViews(
+            {
+                "vPartChain": "part_of*",
+                "vSupplier": "supplied_by",
+                "vCity": "located_in",
+            }
+        )
+        result = rewrite_rpq(q0, views, self.theory)
+        assert result.is_exact()
+        assert result.answer(self.db) == evaluate(self.db, q0, self.theory)
+
+    def test_weaker_views_still_sound(self):
+        q0 = "part_of*.supplied_by"
+        views = RPQViews({"vHop": "part_of.part_of", "vSupplier": "supplied_by"})
+        result = rewrite_rpq(q0, views, self.theory)
+        assert not result.is_exact()  # odd-length chains missing
+        assert result.answer(self.db) <= evaluate(self.db, q0, self.theory)
+
+
+class TestContainedVsContaining:
+    """The two dual rewritings bracket the query language."""
+
+    def test_bracketing(self):
+        views = ViewSet({"e1": "a.b", "e2": "b"})
+        e0 = "a.b.b*"
+        contained = maximal_rewriting(e0, views)
+        containing = existential_rewriting(e0, views)
+        e0_nfa = compile_nfa(parse(e0))
+        # exp(contained) subseteq L(E0) subseteq exp(containing)
+        from repro.automata import is_contained
+
+        assert is_contained(contained.expansion(), e0_nfa)
+        assert containing.covers()
+        # and the Sigma_E languages nest
+        for word in contained.words(max_length=3):
+            assert containing.accepts(word)
+
+
+class TestRegexPipelineRoundTrip:
+    def test_rewrite_of_rewriting_expansion_recovers_language(self):
+        # Take the rewriting, expand it, and verify the expansion automaton
+        # round-trips through regex printing and parsing.
+        views = ViewSet({"e1": "a", "e2": "a.c*.b", "e3": "c"})
+        result = maximal_rewriting("a.(b.a+c)*", views)
+        from repro.automata import to_regex
+
+        expansion_expr = to_regex(result.expansion())
+        reparsed = parse(to_string(expansion_expr))
+        assert are_equivalent(compile_nfa(reparsed), result.expansion())
+
+    def test_simplify_stable_on_rewriting_output(self):
+        views = ViewSet({"e1": "a", "e2": "b"})
+        result = maximal_rewriting("(a+b)*", views)
+        expr = result.regex()
+        assert simplify(expr) == simplify(simplify(expr))
+
+
+class TestGeneralizedPipeline:
+    def test_three_hop_itinerary(self):
+        theory = Theory(
+            domain={"flight", "train", "hotel"},
+            predicates={"Transport": {"flight", "train"}},
+        )
+        db = GraphDB(
+            [
+                ("nyc", "flight", "lisbon"),
+                ("lisbon", "train", "porto"),
+                ("porto", "hotel", "stay1"),
+                ("lisbon", "hotel", "stay2"),
+            ]
+        )
+        gpq = GeneralizedPathQuery.of(
+            RPQ(star(sym(Pred("Transport")))), RPQ(sym("hotel"))
+        )
+        direct = evaluate_gpq(db, gpq, theory)
+        assert ("nyc", "porto", "stay1") in direct
+        assert ("nyc", "lisbon", "stay2") in direct
+        views = RPQViews(
+            {"vT": RPQ(sym(Pred("Transport"))), "vH": RPQ(sym("hotel"))}
+        )
+        rewriting = rewrite_gpq(gpq, views, theory)
+        assert rewriting.is_exact()
+        assert rewriting.answer(db) == direct
+
+
+class TestPartialRewritingPipeline:
+    def test_partial_then_verify_on_database(self):
+        # Find the minimal extension, then confirm completeness on a DB.
+        views = ViewSet({"q1": "a", "q2": "b"})
+        solutions = find_partial_rewritings("a.(b+c)", views)
+        extension = solutions[0]
+        assert extension.added == ("c",)
+        theory = Theory.trivial({"a", "b", "c"})
+        db = GraphDB([("x", "a", "y"), ("y", "c", "z")])
+        rpq_views = RPQViews(
+            {"q1": "a", "q2": "b", "q3": "c"}
+        )
+        result = rewrite_rpq("a.(b+c)", rpq_views, theory)
+        assert result.answer(db) == evaluate(db, "a.(b+c)", theory)
+
+
+class TestIntroductionQueryFullStack:
+    def test_paper_intro_end_to_end(self):
+        # _* (rome+jerusalem) _* restaurant over a two-city graph, theory
+        # predicates, rewriting over indexes, answers via views.
+        from repro.rpq.formulas import TOP
+
+        theory = Theory(
+            domain={"rome", "jerusalem", "link", "restaurant"},
+            predicates={"Restaurant": {"restaurant"}},
+        )
+        db = GraphDB(
+            [
+                ("w0", "link", "w1"),
+                ("w1", "rome", "w2"),
+                ("w2", "link", "w3"),
+                ("w3", "restaurant", "w4"),
+                ("w1", "jerusalem", "w5"),
+                ("w5", "restaurant", "w6"),
+            ]
+        )
+        q0 = RPQ(
+            concat(
+                star(sym(TOP)),
+                sym("rome") + sym("jerusalem"),
+                star(sym(TOP)),
+                sym(Pred("Restaurant")),
+            )
+        )
+        direct = evaluate(db, q0, theory)
+        assert ("w0", "w4") in direct and ("w0", "w6") in direct
+        views = RPQViews(
+            {
+                "vHoly": RPQ(sym("rome") + sym("jerusalem")),
+                "vNav": RPQ(star(sym("link"))),
+                "vRest": RPQ(sym(Pred("Restaurant"))),
+            }
+        )
+        result = rewrite_rpq(q0, views, theory)
+        assert result.answer(db) <= direct
+        assert ("w0", "w4") in result.answer(db)
