@@ -105,6 +105,26 @@ class NFA:
     def has_epsilon_moves(self) -> bool:
         return any(EPS in row for row in self._delta.values())
 
+    def compiled_rows(self) -> dict[int, dict[Hashable, frozenset[int]]]:
+        """Per-state ``symbol -> targets`` rows with epsilon moves eliminated.
+
+        This is the export consumed by :mod:`repro.rpq.engine`: the rows of
+        the epsilon-free equivalent of this automaton, copied into plain
+        dicts so callers can specialize them (e.g. resolve formula symbols
+        to concrete edge labels) without touching the frozen delta.  Note
+        that epsilon elimination may also enlarge the *final* set; use
+        :meth:`without_epsilon` first if you need the matching finals.
+        """
+        source = self.without_epsilon() if self.has_epsilon_moves() else self
+        return {
+            state: {
+                symbol: targets
+                for symbol, targets in row.items()
+                if symbol is not EPS
+            }
+            for state, row in source._delta.items()
+        }
+
     # ------------------------------------------------------------------
     # Language operations
     # ------------------------------------------------------------------

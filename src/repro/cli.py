@@ -12,6 +12,10 @@ Examples::
 
     python -m repro eval --graph edges.tsv --query 'a.b*'  # RPQ answers
 
+    python -m repro eval --graph edges.tsv --query 'a.b*' --source x
+
+    python -m repro eval --graph edges.tsv --query 'a.b*' --pair x y
+
 ``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line.
 All regular expressions use the library's concrete syntax (``.``
 concatenation, ``+`` union, postfix ``*``; multi-character names are
@@ -78,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="TSV file with source<TAB>label<TAB>target lines",
     )
+    mode = evaluate.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--source",
+        help="only report targets reachable from this node",
+    )
+    mode.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("SOURCE", "TARGET"),
+        help="decide one pair with the bidirectional search "
+        "(exit code 0 if it is an answer, 1 if not, 2 on errors)",
+    )
+    evaluate.add_argument(
+        "--naive",
+        action="store_true",
+        help="use the per-source reference evaluator instead of the "
+        "compiled engine, in any mode (differential debugging)",
+    )
     return parser
 
 
@@ -131,7 +153,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
-    from .rpq import GraphDB, evaluate
+    from .rpq import evaluate, evaluate_from, evaluate_pair, naive_evaluate
+    from .rpq.graphdb import GraphDB
 
     db = GraphDB()
     with open(args.graph, encoding="utf-8") as handle:
@@ -146,7 +169,40 @@ def _cmd_eval(args: argparse.Namespace) -> int:
                 )
             source, label, target = parts
             db.add_edge(source, label, target)
-    answers = sorted(evaluate(db, args.query))
+    def _node_error(exc: KeyError) -> SystemExit:
+        print(f"{args.graph}: {exc.args[0]}", file=sys.stderr)
+        return SystemExit(2)
+
+    if args.pair is not None:
+        source, target = args.pair
+        try:
+            db.node_id(source)
+            db.node_id(target)
+            if args.naive:
+                found = (source, target) in naive_evaluate(db, args.query)
+            else:
+                found = evaluate_pair(db, source, target, args.query)
+        except KeyError as exc:
+            raise _node_error(exc) from None
+        print("answer" if found else "no answer")
+        return 0 if found else 1
+    if args.source is not None:
+        try:
+            db.node_id(args.source)
+            if args.naive:
+                targets = frozenset(
+                    y
+                    for x, y in naive_evaluate(db, args.query)
+                    if x == args.source
+                )
+            else:
+                targets = evaluate_from(db, args.source, args.query)
+        except KeyError as exc:
+            raise _node_error(exc) from None
+        answers = sorted((args.source, y) for y in targets)
+    else:
+        evaluator = naive_evaluate if args.naive else evaluate
+        answers = sorted(evaluator(db, args.query))
     for x, y in answers:
         print(f"{x}\t{y}")
     print(f"# {len(answers)} answers", file=sys.stderr)

@@ -3,8 +3,13 @@
 Provides graph databases, RPQ evaluation, theories of edge formulae, and
 view-based rewriting/answering:
 
-* :class:`GraphDB` — edge-labelled graph databases;
-* :class:`RPQ` / :func:`evaluate` — queries and Definition 4.2 semantics;
+* :class:`GraphDB` — edge-labelled graph databases with a label-first,
+  dense-int-id index (bulk frontier expansion, reverse edges);
+* :class:`RPQ` / :func:`evaluate` — queries and Definition 4.2 semantics,
+  executed by the compiled engine of :mod:`repro.rpq.engine` (precompiled
+  label tables, macro-frontier BFS shared across sources, bidirectional
+  single-pair search); :func:`naive_evaluate` is the per-source reference
+  oracle used for differential testing;
 * :class:`Theory` + the formula classes — Section 4.1's decidable complete
   theory T over the domain D;
 * :func:`rewrite_rpq` — the Section 4.2 rewriting algorithm (Theorem 4.2),
@@ -17,7 +22,20 @@ from .answering import (
     rewriting_is_complete_on,
     rewriting_is_sound_on,
 )
-from .evaluation import ans, evaluate, evaluate_from
+from .engine import (
+    CompiledAutomaton,
+    compile_automaton,
+    compile_cache_clear,
+    compile_cache_info,
+)
+from .evaluation import (
+    ans,
+    evaluate,
+    evaluate_from,
+    evaluate_pair,
+    naive_ans,
+    naive_evaluate,
+)
 from .formulas import TOP, And, Const, Formula, Not, Or, Pred, Top
 from .generalized import (
     GeneralizedPathQuery,
@@ -47,7 +65,14 @@ __all__ = [
     "RPQ",
     "evaluate",
     "evaluate_from",
+    "evaluate_pair",
     "ans",
+    "naive_evaluate",
+    "naive_ans",
+    "CompiledAutomaton",
+    "compile_automaton",
+    "compile_cache_info",
+    "compile_cache_clear",
     "Formula",
     "Const",
     "Pred",

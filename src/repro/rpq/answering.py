@@ -9,6 +9,10 @@ and complete when the rewriting is exact and views are exact materializations.
 These helpers also provide the semantic validation used by the tests:
 Definition 4.3's containment ``ans(exp_F(L(R)), DB) subseteq ans(L(Q0), DB)``
 checked on concrete databases.
+
+Both the view-side evaluation (``ans`` over the view graph) and the direct
+evaluation of ``Q0`` run on the compiled engine of :mod:`repro.rpq.engine`;
+the containment checks below therefore exercise the fast path end to end.
 """
 
 from __future__ import annotations

@@ -3,8 +3,20 @@
 The answer ``ans(L, DB)`` is the set of node pairs ``(x, y)`` connected by a
 path whose label word belongs to ``L`` (after formula matching, in the
 theory-based approach).  Evaluation is the standard product-reachability
-construction: breadth-first search over (graph node, automaton state) pairs,
-started from every node — polynomial in both the database and the query.
+construction — polynomial in both the database and the query.
+
+Two evaluators implement that semantics:
+
+* the **compiled engine** (:mod:`repro.rpq.engine`) — the default behind
+  :func:`evaluate` / :func:`ans` / :func:`evaluate_from` /
+  :func:`evaluate_pair`.  It precompiles the query automaton against the
+  theory and the database's label domain, then runs label-indexed,
+  set-at-a-time frontier sweeps shared across all sources;
+* the **naive evaluator** (:func:`naive_evaluate`, with the helper
+  :func:`naive_ans`) — one BFS per source with a per-edge matcher closure,
+  a direct transcription of Definition 4.2.  It is kept as the reference
+  oracle for differential testing and benchmarking; the engine must agree
+  with it on every (database, query, theory) triple.
 """
 
 from __future__ import annotations
@@ -14,15 +26,30 @@ from typing import Callable, Hashable, Union
 
 from ..automata.dfa import DFA
 from ..automata.nfa import NFA
+from . import engine as _engine
 from .formulas import Formula
 from .graphdb import GraphDB
 from .query import RPQ, QuerySpec
 from .theory import Theory
 
-__all__ = ["evaluate", "ans", "evaluate_from"]
+__all__ = [
+    "evaluate",
+    "ans",
+    "evaluate_from",
+    "evaluate_pair",
+    "naive_evaluate",
+    "naive_ans",
+]
 
 Automaton = Union[NFA, DFA]
 Pair = tuple[Hashable, Hashable]
+
+
+def _compiled_for(
+    db: GraphDB, query: QuerySpec, theory: Theory | None
+) -> _engine.CompiledAutomaton:
+    rpq = query if isinstance(query, RPQ) else RPQ(query)
+    return _engine.compile_automaton(rpq.eps_free_nfa(), theory, db.domain())
 
 
 def evaluate(
@@ -31,19 +58,24 @@ def evaluate(
     """Evaluate an RPQ over ``db``; formulae require a ``theory``.
 
     Returns all pairs ``(x, y)`` such that some path from ``x`` to ``y``
-    matches the query (Definition 4.2).
+    matches the query (Definition 4.2).  Runs on the compiled engine; see
+    :func:`naive_evaluate` for the reference implementation.
     """
-    rpq = query if isinstance(query, RPQ) else RPQ(query)
-    matcher = _build_matcher(rpq.nfa(), theory)
-    return _product_reachability(db, rpq.nfa().without_epsilon(), matcher)
+    return _engine.evaluate_all(db, _compiled_for(db, query, theory))
 
 
 def ans(language: Automaton, db: GraphDB) -> frozenset[Pair]:
-    """The paper's ``ans(alpha, DB)`` for a regular language over D."""
+    """The paper's ``ans(alpha, DB)`` for a regular language over D.
+
+    Symbols are matched against edge labels by equality (no theory), which
+    is exactly how rewritings — languages over the view alphabet — are
+    evaluated on view graphs.
+    """
     nfa = language.to_nfa() if isinstance(language, DFA) else language
-    return _product_reachability(
-        db, nfa.without_epsilon(), lambda symbol, label: symbol == label
+    compiled = _engine.compile_automaton(
+        nfa, None, db.domain(), plain_symbols=True
     )
+    return _engine.evaluate_all(db, compiled)
 
 
 def evaluate_from(
@@ -52,12 +84,57 @@ def evaluate_from(
     query: QuerySpec,
     theory: Theory | None = None,
 ) -> frozenset[Hashable]:
-    """Single-source variant: all ``y`` with ``(source, y)`` in the answer."""
+    """Single-source variant: all ``y`` with ``(source, y)`` in the answer.
+
+    Raises ``KeyError`` if ``source`` is not a node of ``db``.
+    """
+    return _engine.evaluate_single_source(
+        db, _compiled_for(db, query, theory), source
+    )
+
+
+def evaluate_pair(
+    db: GraphDB,
+    source: Hashable,
+    target: Hashable,
+    query: QuerySpec,
+    theory: Theory | None = None,
+) -> bool:
+    """Single-pair variant: is ``(source, target)`` in the answer?
+
+    Decided by the engine's bidirectional search, which meets a forward
+    frontier from ``source`` with a backward frontier from ``target``
+    instead of exploring the full forward reachability set.
+    """
+    return _engine.evaluate_pair(
+        db, _compiled_for(db, query, theory), source, target
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive reference evaluator (Definition 4.2, transcribed literally)
+# ----------------------------------------------------------------------
+
+
+def naive_evaluate(
+    db: GraphDB, query: QuerySpec, theory: Theory | None = None
+) -> frozenset[Pair]:
+    """Reference implementation of :func:`evaluate`: one BFS per source.
+
+    Kept deliberately simple (per-edge matcher closure, no indexes, no
+    compilation) so it can serve as the differential-testing oracle for
+    the engine.
+    """
     rpq = query if isinstance(query, RPQ) else RPQ(query)
-    nfa = rpq.nfa().without_epsilon()
     matcher = _build_matcher(rpq.nfa(), theory)
-    return frozenset(
-        y for x, y in _search_from(db, source, nfa, matcher)
+    return _product_reachability(db, rpq.eps_free_nfa(), matcher)
+
+
+def naive_ans(language: Automaton, db: GraphDB) -> frozenset[Pair]:
+    """Reference implementation of :func:`ans` (equality matching)."""
+    nfa = language.to_nfa() if isinstance(language, DFA) else language
+    return _product_reachability(
+        db, nfa.without_epsilon(), lambda symbol, label: symbol == label
     )
 
 

@@ -3,12 +3,26 @@
 Following [BDFS97] and the paper, a database is a graph whose edges are
 labelled with elements of a finite domain ``D``.  Nodes are arbitrary
 hashable objects.  The graph is not required to be rooted or connected.
+
+Storage layout (the indexed backend used by :mod:`repro.rpq.engine`):
+nodes are interned to dense integer ids on first sight, and the edge set
+is kept *label-first* in two mirrored indexes::
+
+    _out[label][source_id] -> set of target ids
+    _in[label][target_id]  -> set of source ids
+
+so that a frontier of nodes can be expanded through one label with a few
+bulk set unions (:meth:`GraphDB.successors_bulk`) instead of per-edge
+Python calls, and so that bidirectional search can walk edges backwards
+(:meth:`GraphDB.predecessors_bulk`).  The public API still speaks in the
+original node objects; the integer ids are an internal representation
+exposed only through :meth:`node_id` / :meth:`node_at` for the engine.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 __all__ = ["GraphDB", "random_graph", "path_graph"]
 
@@ -23,48 +37,80 @@ class GraphDB:
     """
 
     def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Hashable] = ()):
-        self._nodes: set[Hashable] = set(nodes)
-        self._out: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
-        self._labels: set[Hashable] = set()
+        self._id_of: dict[Hashable, int] = {}
+        self._node_of: list[Hashable] = []
+        self._out: dict[Hashable, dict[int, set[int]]] = {}
+        self._in: dict[Hashable, dict[int, set[int]]] = {}
         self._num_edges = 0
+        for node in nodes:
+            self.add_node(node)
         for source, label, target in edges:
             self.add_edge(source, label, target)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _intern(self, node: Hashable) -> int:
+        node_id = self._id_of.get(node)
+        if node_id is None:
+            node_id = len(self._node_of)
+            self._id_of[node] = node_id
+            self._node_of.append(node)
+        return node_id
+
     def add_node(self, node: Hashable) -> None:
-        self._nodes.add(node)
+        self._intern(node)
 
     def add_edge(self, source: Hashable, label: Hashable, target: Hashable) -> None:
         """Add the edge ``source --label--> target`` (idempotent)."""
-        self._nodes.add(source)
-        self._nodes.add(target)
-        targets = self._out.setdefault(source, {}).setdefault(label, set())
-        if target not in targets:
-            targets.add(target)
+        source_id = self._intern(source)
+        target_id = self._intern(target)
+        targets = self._out.setdefault(label, {}).setdefault(source_id, set())
+        if target_id not in targets:
+            targets.add(target_id)
+            self._in.setdefault(label, {}).setdefault(target_id, set()).add(source_id)
             self._num_edges += 1
-            self._labels.add(label)
 
-    def add_path(self, start: Hashable, labels: Sequence[Hashable], nodes: Sequence[Hashable]) -> None:
-        """Add a path ``start --labels[0]--> nodes[0] --labels[1]--> ...``."""
+    def add_path(
+        self, start: Hashable, labels: Sequence[Hashable], nodes: Sequence[Hashable]
+    ) -> None:
+        """Add a path ``start --labels[0]--> nodes[0] --labels[1]--> ...``.
+
+        ``labels`` and ``nodes`` must have equal length: ``nodes[i]`` is the
+        target of the edge labelled ``labels[i]``.  With both empty, only
+        ``start`` is registered (a zero-length path still has its endpoint).
+        """
         if len(labels) != len(nodes):
             raise ValueError("need as many intermediate nodes as labels")
+        self.add_node(start)
         current = start
         for label, node in zip(labels, nodes):
             self.add_edge(current, label, node)
             current = node
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Edge]) -> "GraphDB":
+        """Build a database from ``(source, label, target)`` triples."""
+        return cls(edges=triples)
+
+    def to_triples(self) -> set[Edge]:
+        """The edge set as ``(source, label, target)`` triples.
+
+        Round-trips with :meth:`from_triples` up to isolated nodes (which
+        have no incident edge and therefore no triple).
+        """
+        return set(self.edges())
 
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> frozenset[Hashable]:
-        return frozenset(self._nodes)
+        return frozenset(self._id_of)
 
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        return len(self._node_of)
 
     @property
     def num_edges(self) -> int:
@@ -72,33 +118,93 @@ class GraphDB:
 
     def domain(self) -> frozenset[Hashable]:
         """The set of edge labels actually used (a subset of the domain D)."""
-        return frozenset(self._labels)
+        return frozenset(self._out)
 
     def successors(self, node: Hashable, label: Hashable) -> frozenset[Hashable]:
-        return frozenset(self._out.get(node, {}).get(label, ()))
+        node_id = self._id_of.get(node)
+        if node_id is None:
+            return frozenset()
+        targets = self._out.get(label, {}).get(node_id, ())
+        return frozenset(self._node_of[t] for t in targets)
 
     def out_edges(self, node: Hashable) -> Iterator[tuple[Hashable, Hashable]]:
         """Yield ``(label, target)`` pairs for edges leaving ``node``."""
-        for label, targets in self._out.get(node, {}).items():
-            for target in targets:
-                yield (label, target)
+        node_id = self._id_of.get(node)
+        if node_id is None:
+            return
+        for label, adjacency in self._out.items():
+            for target_id in adjacency.get(node_id, ()):
+                yield (label, self._node_of[target_id])
 
     def edges(self) -> Iterator[Edge]:
-        for source, row in self._out.items():
-            for label, targets in row.items():
-                for target in targets:
-                    yield (source, label, target)
+        for label, adjacency in self._out.items():
+            for source_id, targets in adjacency.items():
+                source = self._node_of[source_id]
+                for target_id in targets:
+                    yield (source, label, self._node_of[target_id])
 
     def has_path(self, source: Hashable, labels: Sequence[Hashable]) -> bool:
         """Is there a path from ``source`` spelling exactly ``labels``?"""
-        frontier = {source}
+        source_id = self._id_of.get(source)
+        if source_id is None:
+            return False
+        frontier = {source_id}
         for label in labels:
-            frontier = {
-                target for node in frontier for target in self.successors(node, label)
-            }
+            frontier = self.successors_bulk(frontier, label)
             if not frontier:
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # Engine-facing indexed access (dense integer node ids)
+    # ------------------------------------------------------------------
+    def node_id(self, node: Hashable) -> int:
+        """The dense integer id of ``node``; raises ``KeyError`` if absent."""
+        try:
+            return self._id_of[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def node_at(self, node_id: int) -> Hashable:
+        """The node object with the given dense id."""
+        return self._node_of[node_id]
+
+    def label_out_index(self, label: Hashable) -> Mapping[int, set[int]]:
+        """The forward adjacency ``source_id -> target ids`` for one label."""
+        return self._out.get(label, {})
+
+    def label_in_index(self, label: Hashable) -> Mapping[int, set[int]]:
+        """The reverse adjacency ``target_id -> source ids`` for one label."""
+        return self._in.get(label, {})
+
+    def successors_bulk(self, frontier: Iterable[int], label: Hashable) -> set[int]:
+        """All targets of ``label``-edges leaving any node id in ``frontier``."""
+        return self._expand_bulk(self._out.get(label), frontier)
+
+    def predecessors_bulk(self, frontier: Iterable[int], label: Hashable) -> set[int]:
+        """All sources of ``label``-edges entering any node id in ``frontier``."""
+        return self._expand_bulk(self._in.get(label), frontier)
+
+    @staticmethod
+    def _expand_bulk(
+        adjacency: dict[int, set[int]] | None, frontier: Iterable[int]
+    ) -> set[int]:
+        result: set[int] = set()
+        if not adjacency:
+            return result
+        if not isinstance(frontier, (set, frozenset)):
+            frontier = set(frontier)
+        if len(adjacency) < len(frontier):
+            # Sparse label: scanning its adjacency beats probing the frontier.
+            for source_id, targets in adjacency.items():
+                if source_id in frontier:
+                    result |= targets
+        else:
+            for source_id in frontier:
+                targets = adjacency.get(source_id)
+                if targets:
+                    result |= targets
+        return result
 
     def __repr__(self) -> str:
         return f"GraphDB(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -38,8 +38,10 @@ class RPQ:
     """A regular path query with an optional human-readable name."""
 
     def __init__(self, spec: QuerySpec, name: str | None = None):
+        self._eps_free: NFA | None = None
         if isinstance(spec, RPQ):
             self._nfa = spec.nfa()
+            self._eps_free = spec._eps_free
             self.expr: Regex | None = spec.expr
             name = name or spec.name
         elif isinstance(spec, str):
@@ -58,6 +60,20 @@ class RPQ:
     def nfa(self) -> NFA:
         """The compiled automaton over the query's alphabet."""
         return self._nfa
+
+    def eps_free_nfa(self) -> NFA:
+        """The epsilon-free equivalent of :meth:`nfa`, computed once.
+
+        Evaluation (:mod:`repro.rpq.engine`) always works on the
+        epsilon-free automaton; caching it here keeps repeated evaluations
+        of the same query object from redoing closure elimination.
+        """
+        if self._eps_free is None:
+            nfa = self._nfa
+            self._eps_free = (
+                nfa.without_epsilon() if nfa.has_epsilon_moves() else nfa
+            )
+        return self._eps_free
 
     def alphabet(self) -> frozenset[Hashable]:
         return self._nfa.alphabet

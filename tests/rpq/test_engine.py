@@ -1,0 +1,210 @@
+"""Unit tests for the compiled RPQ evaluation engine."""
+
+import pytest
+
+from repro.rpq import (
+    RPQ,
+    GraphDB,
+    Pred,
+    Theory,
+    compile_automaton,
+    compile_cache_clear,
+    compile_cache_info,
+    evaluate,
+    evaluate_from,
+    evaluate_pair,
+    naive_evaluate,
+)
+from repro.rpq.engine import CompiledAutomaton, evaluate_all
+
+
+@pytest.fixture
+def diamond_db():
+    return GraphDB(
+        [
+            ("s", "a", "l"),
+            ("s", "a", "r"),
+            ("l", "b", "t"),
+            ("r", "c", "t"),
+        ]
+    )
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        assert evaluate(GraphDB(), "a.b*") == frozenset()
+
+    def test_empty_graph_with_epsilon_query(self):
+        assert evaluate(GraphDB(), "a*") == frozenset()
+
+    def test_empty_language_query(self, diamond_db):
+        assert evaluate(diamond_db, "%empty") == frozenset()
+
+    def test_epsilon_accepting_query_yields_all_diagonal_pairs(self):
+        db = GraphDB([("x", "a", "y")])
+        db.add_node("island")  # isolated nodes are answers too
+        result = evaluate(db, "b*")
+        assert result == frozenset((v, v) for v in db.nodes)
+
+    def test_epsilon_only_query(self, diamond_db):
+        assert evaluate(diamond_db, "%eps") == frozenset(
+            (v, v) for v in diamond_db.nodes
+        )
+
+    def test_unknown_source_raises_keyerror(self, diamond_db):
+        with pytest.raises(KeyError):
+            evaluate_from(diamond_db, "nowhere", "a")
+
+    def test_unknown_pair_endpoint_raises_keyerror(self, diamond_db):
+        with pytest.raises(KeyError):
+            evaluate_pair(diamond_db, "s", "nowhere", "a")
+        with pytest.raises(KeyError):
+            evaluate_pair(diamond_db, "nowhere", "t", "a")
+
+    def test_query_label_absent_from_graph(self, diamond_db):
+        assert evaluate(diamond_db, "z.z") == frozenset()
+
+
+class TestGraphShapes:
+    def test_parallel_edges(self):
+        db = GraphDB([("x", "a", "y"), ("x", "b", "y")])
+        assert evaluate(db, "a+b") == frozenset({("x", "y")})
+        assert evaluate(db, "a.b") == frozenset()
+
+    def test_self_loop(self):
+        db = GraphDB([("x", "a", "x"), ("x", "b", "y")])
+        assert evaluate(db, "a*.b") == frozenset({("x", "y")})
+        assert evaluate(db, "a.a.a") == frozenset({("x", "x")})
+
+    def test_self_loop_single_source(self):
+        db = GraphDB([("x", "a", "x")])
+        assert evaluate_from(db, "x", "a.a*") == frozenset({"x"})
+
+    def test_diamond_all_pairs(self, diamond_db):
+        result = evaluate(diamond_db, "a.(b+c)")
+        assert result == frozenset({("s", "t")})
+
+
+class TestBidirectionalPair:
+    def test_pair_agrees_with_full_answer(self, diamond_db):
+        full = evaluate(diamond_db, "a.b*")
+        for x in diamond_db.nodes:
+            for y in diamond_db.nodes:
+                assert evaluate_pair(diamond_db, x, y, "a.b*") == (
+                    (x, y) in full
+                )
+
+    def test_pair_epsilon(self, diamond_db):
+        assert evaluate_pair(diamond_db, "s", "s", "a*")
+        assert not evaluate_pair(diamond_db, "s", "t", "%eps")
+
+    def test_pair_on_long_chain(self):
+        # Bidirectional search must meet in the middle of the chain.
+        labels = ["a"] * 30
+        db = GraphDB()
+        for i, label in enumerate(labels):
+            db.add_edge(f"x{i}", label, f"x{i + 1}")
+        assert evaluate_pair(db, "x0", "x30", "a*")
+        assert not evaluate_pair(db, "x30", "x0", "a*")
+        assert not evaluate_pair(db, "x0", "x30", "a.a")
+
+
+class TestCompileCache:
+    def test_cache_hit_on_repeated_evaluation(self, diamond_db):
+        compile_cache_clear()
+        query = RPQ("a.b*")
+        evaluate(diamond_db, query)
+        first = compile_cache_info()
+        evaluate(diamond_db, query)
+        second = compile_cache_info()
+        assert first["misses"] == 1
+        assert second["hits"] == first["hits"] + 1
+        assert second["misses"] == first["misses"]
+
+    def test_cache_miss_on_different_label_domain(self, diamond_db):
+        compile_cache_clear()
+        query = RPQ("a.b*")
+        evaluate(diamond_db, query)
+        other = GraphDB([("u", "a", "v")])  # different label domain
+        evaluate(other, query)
+        info = compile_cache_info()
+        assert info["misses"] == 2
+
+    def test_cache_key_includes_theory(self):
+        compile_cache_clear()
+        db = GraphDB([("x", "a", "y")])
+        query = RPQ("a").as_formula_query()
+        t1 = Theory(domain={"a"})
+        t2 = Theory(domain={"a", "b"})
+        evaluate(db, query, t1)
+        evaluate(db, query, t2)
+        assert compile_cache_info()["misses"] == 2
+
+
+class TestCompiledAutomaton:
+    def test_formula_symbols_resolved_at_compile_time(self):
+        from repro.regex.ast import sym
+
+        theory = Theory(domain={"a", "b", "c"}, predicates={"P": {"a", "b"}})
+        rpq = RPQ(sym(Pred("P")))
+        compiled = compile_automaton(
+            rpq.eps_free_nfa(), theory, frozenset({"a", "b", "c"})
+        )
+        labels = {
+            label for row in compiled.table.values() for label in row
+        }
+        assert labels == {"a", "b"}  # "c" does not satisfy P
+
+    def test_formula_without_theory_raises(self):
+        from repro.regex.ast import sym
+
+        rpq = RPQ(sym(Pred("P")))
+        with pytest.raises(ValueError):
+            compile_automaton(rpq.eps_free_nfa(), None, frozenset({"a"}))
+
+    def test_plain_symbols_skips_theory_requirement(self):
+        from repro.regex.ast import sym
+
+        rpq = RPQ(sym(Pred("P")))
+        compiled = compile_automaton(
+            rpq.eps_free_nfa(),
+            None,
+            frozenset({Pred("P")}),
+            plain_symbols=True,
+        )
+        assert isinstance(compiled, CompiledAutomaton)
+        db = GraphDB([("x", Pred("P"), "y")])
+        assert evaluate_all(db, compiled) == frozenset({("x", "y")})
+
+    def test_reverse_table_mirrors_table(self):
+        rpq = RPQ("a.b")
+        compiled = compile_automaton(
+            rpq.eps_free_nfa(), None, frozenset({"a", "b"})
+        )
+        forward = {
+            (src, label, dst)
+            for src, row in compiled.table.items()
+            for label, dsts in row.items()
+            for dst in dsts
+        }
+        backward = {
+            (src, label, dst)
+            for dst, row in compiled.rtable.items()
+            for label, srcs in row.items()
+            for src in srcs
+        }
+        assert forward == backward
+
+
+class TestAgainstNaive:
+    def test_small_worked_example(self):
+        db = GraphDB(
+            [
+                ("1", "a", "2"),
+                ("2", "b", "3"),
+                ("3", "a", "1"),
+                ("2", "a", "2"),
+            ]
+        )
+        for query in ["a*", "a.b", "(a.b.a)*", "b+a.a"]:
+            assert evaluate(db, query) == naive_evaluate(db, query)

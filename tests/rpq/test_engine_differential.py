@@ -1,0 +1,125 @@
+"""Differential property tests: compiled engine vs the naive oracle.
+
+The naive evaluator is a literal transcription of Definition 4.2 (one BFS
+per source, per-edge matcher closure).  The engine must agree with it on
+the full answer set for random graphs x random regexes, for plain-label
+queries and theory/formula queries alike, and the single-source /
+single-pair variants must be consistent projections of the full answer.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, sym, union
+from repro.rpq import (
+    RPQ,
+    GraphDB,
+    Pred,
+    Theory,
+    evaluate,
+    evaluate_from,
+    evaluate_pair,
+    naive_evaluate,
+)
+from repro.rpq.formulas import TOP
+
+from ..conftest import ALPHABET, regex_strategy
+
+THEORY = Theory(
+    domain=set(ALPHABET),
+    predicates={"P": {"a", "b"}, "Q": {"c"}},
+)
+
+
+@st.composite
+def graph_dbs(draw, alphabet=ALPHABET, max_nodes=6, max_edges=14):
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(nodes),
+                st.sampled_from(alphabet),
+                st.sampled_from(nodes),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return GraphDB(edges, nodes=nodes)
+
+
+def formula_regex_strategy(max_leaves: int = 6):
+    """Regexes whose leaves mix plain labels, predicates, and wildcards."""
+    leaves = st.one_of(
+        st.sampled_from(
+            [sym("a"), sym("c"), sym(Pred("P")), sym(Pred("Q")), sym(TOP)]
+        ),
+        st.just(EPSILON),
+        st.just(EMPTY),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: concat(*pair)),
+            st.tuples(children, children).map(lambda pair: union(*pair)),
+            children.map(star),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=graph_dbs(), expr=regex_strategy(max_leaves=6))
+def test_engine_matches_naive_on_plain_queries(db, expr):
+    query = RPQ(expr)
+    assert evaluate(db, query) == naive_evaluate(db, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=graph_dbs(), expr=formula_regex_strategy())
+def test_engine_matches_naive_on_formula_queries(db, expr):
+    query = RPQ(expr)
+    assert evaluate(db, query, THEORY) == naive_evaluate(db, query, THEORY)
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=graph_dbs(max_nodes=5, max_edges=10), expr=regex_strategy(max_leaves=5))
+def test_single_source_is_a_projection_of_the_full_answer(db, expr):
+    query = RPQ(expr)
+    full = evaluate(db, query)
+    for node in db.nodes:
+        assert evaluate_from(db, node, query) == frozenset(
+            y for x, y in full if x == node
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=graph_dbs(max_nodes=5, max_edges=10), expr=regex_strategy(max_leaves=5))
+def test_pair_membership_matches_full_answer(db, expr):
+    query = RPQ(expr)
+    full = evaluate(db, query)
+    for source in db.nodes:
+        for target in db.nodes:
+            assert evaluate_pair(db, source, target, query) == (
+                (source, target) in full
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=graph_dbs(max_nodes=5, max_edges=10), expr=formula_regex_strategy(4))
+def test_formula_single_source_matches_naive_projection(db, expr):
+    query = RPQ(expr)
+    naive = naive_evaluate(db, query, THEORY)
+    for node in db.nodes:
+        assert evaluate_from(db, node, query, THEORY) == frozenset(
+            y for x, y in naive if x == node
+        )
+
+
+def test_formula_query_without_theory_still_raises():
+    db = GraphDB([("x", "a", "y")])
+    with pytest.raises(ValueError):
+        evaluate(db, RPQ(sym(Pred("P"))))
+    with pytest.raises(ValueError):
+        naive_evaluate(db, RPQ(sym(Pred("P"))))

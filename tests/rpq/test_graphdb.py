@@ -52,6 +52,72 @@ class TestBasics:
         with pytest.raises(ValueError):
             db.add_path("n0", ["a"], [])
 
+    def test_add_path_empty_registers_start_node(self):
+        db = GraphDB()
+        db.add_path("lonely", [], [])
+        assert "lonely" in db.nodes
+        assert db.num_edges == 0
+        assert db.has_path("lonely", [])
+
+
+class TestTripleRoundTrip:
+    def test_from_triples_to_triples_round_trip(self):
+        triples = {("x", "a", "y"), ("y", "b", "z"), ("z", "a", "x")}
+        db = GraphDB.from_triples(triples)
+        assert db.to_triples() == triples
+        rebuilt = GraphDB.from_triples(db.to_triples())
+        assert rebuilt.to_triples() == triples
+        assert rebuilt.nodes == db.nodes
+
+    def test_to_triples_drops_isolated_nodes(self):
+        db = GraphDB([("x", "a", "y")])
+        db.add_node("island")
+        assert db.to_triples() == {("x", "a", "y")}
+        assert "island" not in GraphDB.from_triples(db.to_triples()).nodes
+
+
+class TestIndexedBackend:
+    def test_node_ids_are_dense_and_stable(self):
+        db = GraphDB([("x", "a", "y"), ("y", "a", "z")])
+        ids = {db.node_id(n) for n in ("x", "y", "z")}
+        assert ids == {0, 1, 2}
+        for node in db.nodes:
+            assert db.node_at(db.node_id(node)) == node
+
+    def test_node_id_unknown_raises(self):
+        with pytest.raises(KeyError):
+            GraphDB().node_id("ghost")
+
+    def test_successors_bulk(self):
+        db = GraphDB(
+            [("x", "a", "y"), ("x", "a", "z"), ("y", "a", "z"), ("y", "b", "x")]
+        )
+        frontier = {db.node_id("x"), db.node_id("y")}
+        expanded = db.successors_bulk(frontier, "a")
+        assert expanded == {db.node_id("y"), db.node_id("z")}
+        assert db.successors_bulk(frontier, "missing") == set()
+
+    def test_predecessors_bulk_mirrors_successors(self):
+        db = GraphDB([("x", "a", "y"), ("z", "a", "y"), ("y", "a", "x")])
+        front = {db.node_id("y")}
+        assert db.predecessors_bulk(front, "a") == {
+            db.node_id("x"),
+            db.node_id("z"),
+        }
+
+    def test_label_indexes_agree_with_edges(self):
+        db = GraphDB([("x", "a", "y"), ("x", "b", "y"), ("y", "a", "x")])
+        for label in db.domain():
+            out_index = db.label_out_index(label)
+            in_index = db.label_in_index(label)
+            forward = {
+                (s, t) for s, targets in out_index.items() for t in targets
+            }
+            backward = {
+                (s, t) for t, sources in in_index.items() for s in sources
+            }
+            assert forward == backward
+
 
 class TestHasPath:
     def test_path_exists(self):

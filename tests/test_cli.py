@@ -92,6 +92,51 @@ class TestEval:
         with pytest.raises(SystemExit):
             main(["eval", "--graph", str(graph), "--query", "a"])
 
+    def test_naive_engine_agrees(self, tmp_path, capsys):
+        graph = tmp_path / "edges.tsv"
+        graph.write_text("x\ta\ty\ny\tb\tz\nz\ta\tx\n")
+        main(["eval", "--graph", str(graph), "--query", "a.b*"])
+        fast = capsys.readouterr().out
+        main(["eval", "--graph", str(graph), "--query", "a.b*", "--naive"])
+        naive = capsys.readouterr().out
+        assert fast == naive
+
+    def test_single_source(self, tmp_path, capsys):
+        graph = tmp_path / "edges.tsv"
+        graph.write_text("x\ta\ty\ny\tb\tz\n")
+        code = main(
+            ["eval", "--graph", str(graph), "--query", "a.b", "--source", "x"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "x\tz" in captured.out
+
+    def test_single_source_unknown_node(self, tmp_path):
+        graph = tmp_path / "edges.tsv"
+        graph.write_text("x\ta\ty\n")
+        with pytest.raises(SystemExit):
+            main(
+                ["eval", "--graph", str(graph), "--query", "a", "--source", "q"]
+            )
+
+    def test_pair_decision_exit_codes(self, tmp_path, capsys):
+        graph = tmp_path / "edges.tsv"
+        graph.write_text("x\ta\ty\ny\tb\tz\n")
+        assert (
+            main(
+                ["eval", "--graph", str(graph), "--query", "a.b", "--pair", "x", "z"]
+            )
+            == 0
+        )
+        assert "answer" in capsys.readouterr().out
+        assert (
+            main(
+                ["eval", "--graph", str(graph), "--query", "b", "--pair", "x", "z"]
+            )
+            == 1
+        )
+        assert "no answer" in capsys.readouterr().out
+
 
 class TestParser:
     def test_requires_subcommand(self):
