@@ -7,6 +7,18 @@ on-the-fly determinization.  This package implements all of them from
 scratch over arbitrary hashable alphabets.
 """
 
+from .compiled import (
+    DenseDFA,
+    DenseNFA,
+    dense_from_dfa,
+    dense_from_nfa,
+    determinize_dense,
+    minimize_dense,
+    relation_cache_clear,
+    relation_cache_info,
+    rewrite_sweep,
+    view_transition_masks,
+)
 from .containment import are_equivalent, containment_counterexample, is_contained
 from .determinize import determinize, determinize_with_map
 from .isomorphism import are_isomorphic, canonical_form
@@ -35,6 +47,16 @@ __all__ = [
     "NFA",
     "NFABuilder",
     "DFA",
+    "DenseNFA",
+    "DenseDFA",
+    "dense_from_nfa",
+    "dense_from_dfa",
+    "determinize_dense",
+    "minimize_dense",
+    "view_transition_masks",
+    "rewrite_sweep",
+    "relation_cache_info",
+    "relation_cache_clear",
     "to_nfa",
     "word_nfa",
     "universal_nfa",

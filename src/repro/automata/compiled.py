@@ -1,0 +1,672 @@
+"""Compiled automata kernel: dense ids, bitmask tables, fused sweeps.
+
+The rewriting pipeline of Sections 2–3 (``build_ad`` → ``A'`` → complement
+→ minimize) originally ran on dict-of-set automata: every (state, symbol)
+step allocated Python sets.  This module is the compiled substrate the
+pipeline now runs on:
+
+* :class:`DenseNFA` / :class:`DenseDFA` — states are ``0..n-1``, symbols
+  are indexed, transition tables are flat per-state arrays, and *sets of
+  states are single Python integers used as bitmasks*, so union,
+  difference, and emptiness are one C-level big-int operation each.
+* :func:`determinize_dense` — the Rabin–Scott subset construction over
+  bitmask subsets, producing a *total* dense DFA directly (the dead
+  subset ``0`` is materialized on demand and is its own sink).
+* :func:`minimize_dense` — Hopcroft's partition refinement where blocks,
+  splitters, and predecessor sets are all bitmasks.  Dense masks lose to
+  sparse sets once automata reach the 10^5-state scale of the Section 3.2
+  reduction instances, so above :data:`DENSE_MINIMIZE_LIMIT` states the
+  function transparently switches to ``_minimize_dense_sparse``, the same
+  refinement over per-element sets (the dense-array port of
+  :func:`repro.automata.minimize.minimize`).
+* :func:`view_transition_masks` — the ``A'``-edge workhorse.  Instead of
+  one product BFS per ``Ad`` state (the naive
+  :func:`~repro.automata.operations.view_transition_relation`), a single
+  semi-naive BFS over (view-state, ``Ad``-state) cells carries *bitmasks
+  of source states*, computing every row of the relation at once; results
+  are memoized per (``Ad`` fingerprint, view automaton) so
+  ``maximal_rewriting`` and ``existential_rewriting`` share them.
+* :func:`rewrite_sweep` — the paper's step 3 (complement) fused with
+  minimization: one subset sweep *directly over the relation masks* with
+  complemented acceptance, never materializing the intermediate ``A'``
+  NFA, followed by the dense Hopcroft pass.
+
+Everything converts losslessly to and from the dict-based :class:`NFA` /
+:class:`DFA` classes, which remain the public interchange types.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterator, Sequence
+
+from .dfa import DFA
+from .nfa import NFA
+
+__all__ = [
+    "DenseNFA",
+    "DenseDFA",
+    "dense_from_nfa",
+    "dense_from_dfa",
+    "determinize_dense",
+    "minimize_dense",
+    "view_transition_masks",
+    "cached_view_transition_masks",
+    "rewrite_sweep",
+    "relation_cache_info",
+    "relation_cache_clear",
+    "iter_bits",
+    "DENSE_MINIMIZE_LIMIT",
+    "DENSE_RELATION_LIMIT",
+]
+
+#: Above this many states, mask-based Hopcroft loses to the sparse
+#: set-based implementation (OR-ing n/64-word predecessor masks per
+#: splitter bit dominates); delegate instead.
+DENSE_MINIMIZE_LIMIT = 4096
+
+#: Above this many DFA states, the all-sources relation BFS would carry
+#: n-bit source masks per product cell (O(n^2) bits); fall back to the
+#: per-source sparse BFS.
+DENSE_RELATION_LIMIT = 1 << 14
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        yield low.bit_length() - 1
+
+
+class DenseNFA:
+    """An epsilon-free NFA over dense ids with per-state bitmask moves.
+
+    ``moves[state]`` is a tuple of ``(symbol_index, targets_mask)`` pairs;
+    ``state_at[i]`` recovers the original :class:`NFA` state id.
+    """
+
+    __slots__ = ("symbols", "num_states", "moves", "initials_mask", "finals_mask", "state_at")
+
+    def __init__(
+        self,
+        symbols: tuple[Hashable, ...],
+        num_states: int,
+        moves: list[tuple[tuple[int, int], ...]],
+        initials_mask: int,
+        finals_mask: int,
+        state_at: tuple[int, ...],
+    ):
+        self.symbols = symbols
+        self.num_states = num_states
+        self.moves = moves
+        self.initials_mask = initials_mask
+        self.finals_mask = finals_mask
+        self.state_at = state_at
+
+    def __repr__(self) -> str:
+        return f"DenseNFA(states={self.num_states}, symbols={len(self.symbols)})"
+
+
+class DenseDFA:
+    """A *total* DFA over dense ids: ``delta[state][symbol_index]`` is an int."""
+
+    __slots__ = ("symbols", "num_states", "delta", "initial", "finals_mask")
+
+    def __init__(
+        self,
+        symbols: tuple[Hashable, ...],
+        delta: list[list[int]],
+        initial: int,
+        finals_mask: int,
+    ):
+        self.symbols = symbols
+        self.num_states = len(delta)
+        self.delta = delta
+        self.initial = initial
+        self.finals_mask = finals_mask
+
+    def key(self) -> tuple:
+        """A hashable structural fingerprint (for relation memoization)."""
+        return (
+            self.symbols,
+            self.initial,
+            self.finals_mask,
+            tuple(tuple(row) for row in self.delta),
+        )
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        index = {symbol: i for i, symbol in enumerate(self.symbols)}
+        state = self.initial
+        for symbol in word:
+            i = index.get(symbol)
+            if i is None:
+                return False
+            state = self.delta[state][i]
+        return bool(self.finals_mask >> state & 1)
+
+    def to_dfa(self) -> DFA:
+        """Convert to the dict-based :class:`DFA` (states ``0..n-1``, total)."""
+        transitions = {
+            state: dict(zip(self.symbols, row)) for state, row in enumerate(self.delta)
+        }
+        return DFA(
+            states=range(self.num_states),
+            alphabet=self.symbols,
+            transitions=transitions,
+            initial=self.initial,
+            finals=set(iter_bits(self.finals_mask)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseDFA(states={self.num_states}, symbols={len(self.symbols)}, "
+            f"initial={self.initial})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Conversions
+# ----------------------------------------------------------------------
+
+
+def dense_from_nfa(nfa: NFA, symbols: tuple[Hashable, ...] | None = None) -> DenseNFA:
+    """Compile an :class:`NFA` (epsilon moves eliminated) to dense form."""
+    if nfa.has_epsilon_moves():
+        nfa = nfa.without_epsilon().trimmed()
+    if symbols is None:
+        symbols = tuple(sorted(nfa.alphabet, key=repr))
+    symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+    state_at = tuple(sorted(nfa.states))
+    index_of = {state: i for i, state in enumerate(state_at)}
+    moves: list[tuple[tuple[int, int], ...]] = []
+    for state in state_at:
+        entries = []
+        for label, dsts in nfa.transitions_from(state).items():
+            mask = 0
+            for dst in dsts:
+                mask |= 1 << index_of[dst]
+            entries.append((symbol_index[label], mask))
+        moves.append(tuple(entries))
+    initials_mask = 0
+    for state in nfa.initials:
+        initials_mask |= 1 << index_of[state]
+    finals_mask = 0
+    for state in nfa.finals:
+        finals_mask |= 1 << index_of[state]
+    return DenseNFA(symbols, len(state_at), moves, initials_mask, finals_mask, state_at)
+
+
+def dense_from_dfa(dfa: DFA) -> tuple[DenseDFA, tuple[int, ...]]:
+    """Compile a *total* :class:`DFA`; returns ``(dense, state_at)``.
+
+    ``state_at[i]`` is the original state id of dense state ``i``.  Symbols
+    are ordered by ``repr`` so that structurally equal DFAs produce equal
+    fingerprints.
+    """
+    if not dfa.is_total():
+        raise ValueError("dense_from_dfa requires a total DFA")
+    symbols = tuple(sorted(dfa.alphabet, key=repr))
+    state_at = tuple(sorted(dfa.states))
+    index_of = {state: i for i, state in enumerate(state_at)}
+    delta = [
+        [index_of[dfa.successor(state, symbol)] for symbol in symbols]
+        for state in state_at
+    ]
+    finals_mask = 0
+    for state in dfa.finals:
+        finals_mask |= 1 << index_of[state]
+    dense = DenseDFA(symbols, delta, index_of[dfa.initial], finals_mask)
+    return dense, state_at
+
+
+# ----------------------------------------------------------------------
+# Subset construction (shared by determinization and the rewrite sweep)
+# ----------------------------------------------------------------------
+
+
+def _subset_sweep(
+    per_state_moves: Sequence[Sequence[tuple[int, int]]],
+    initial_mask: int,
+    num_symbols: int,
+    accept_mask: int,
+    complement: bool,
+) -> tuple[list[list[int]], int]:
+    """Explore subsets from ``initial_mask``; returns ``(delta, finals_mask)``.
+
+    Acceptance of a subset ``S`` is ``S & accept_mask`` (plain mode) or
+    ``not (S & accept_mask)`` (complement mode — used for the fused
+    rewriting step, where the dead subset ``0`` is *accepting*).  The
+    result is total: the dead subset is materialized iff reachable.
+    """
+    subset_ids: dict[int, int] = {initial_mask: 0}
+    rows: list[list[int] | None] = [None]
+    finals_mask_out = 0
+    worklist = [initial_mask]
+    while worklist:
+        subset = worklist.pop()
+        state_id = subset_ids[subset]
+        hit = bool(subset & accept_mask)
+        if hit != complement:
+            finals_mask_out |= 1 << state_id
+        targets = [0] * num_symbols
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            for symbol_index, mask in per_state_moves[low.bit_length() - 1]:
+                targets[symbol_index] |= mask
+        row = []
+        for target in targets:
+            target_id = subset_ids.get(target)
+            if target_id is None:
+                target_id = subset_ids[target] = len(subset_ids)
+                rows.append(None)
+                worklist.append(target)
+            row.append(target_id)
+        rows[state_id] = row
+    # Every discovered subset was processed, so no row is left None.
+    return rows, finals_mask_out  # type: ignore[return-value]
+
+
+def determinize_dense(nfa: NFA, symbols: tuple[Hashable, ...] | None = None) -> DenseDFA:
+    """Subset construction straight to a total :class:`DenseDFA`.
+
+    ``symbols`` may be a superset of the NFA's alphabet (completion over a
+    larger Sigma comes for free: absent symbols all lead to the dead
+    subset).
+    """
+    dense = dense_from_nfa(nfa, symbols)
+    delta, finals_mask = _subset_sweep(
+        dense.moves,
+        dense.initials_mask,
+        len(dense.symbols),
+        dense.finals_mask,
+        complement=False,
+    )
+    return DenseDFA(dense.symbols, delta, 0, finals_mask)
+
+
+# ----------------------------------------------------------------------
+# Hopcroft minimization over bitmask blocks
+# ----------------------------------------------------------------------
+
+
+def minimize_dense(dense: DenseDFA) -> DenseDFA:
+    """The minimal total DFA for ``L(dense)`` (reachable part).
+
+    Mask-based Hopcroft below :data:`DENSE_MINIMIZE_LIMIT` states; the
+    sparse set-based refinement above it (on 10^5-state subset spaces,
+    OR-ing n/64-word predecessor masks per splitter bit is slower than
+    per-element set operations).
+    """
+    if dense.num_states > DENSE_MINIMIZE_LIMIT:
+        return _minimize_dense_sparse(dense)
+
+    delta = dense.delta
+    num_symbols = len(dense.symbols)
+    # Reachable restriction.
+    reach_mask = 1 << dense.initial
+    frontier = [dense.initial]
+    while frontier:
+        state = frontier.pop()
+        for target in delta[state]:
+            bit = 1 << target
+            if not reach_mask & bit:
+                reach_mask |= bit
+                frontier.append(target)
+
+    preds = [[0] * dense.num_states for _ in range(num_symbols)]
+    for state in iter_bits(reach_mask):
+        row = delta[state]
+        bit = 1 << state
+        for symbol_index in range(num_symbols):
+            preds[symbol_index][row[symbol_index]] |= bit
+
+    finals = dense.finals_mask & reach_mask
+    nonfinals = reach_mask & ~dense.finals_mask
+    partition = [block for block in (finals, nonfinals) if block]
+    worklist = [(block, a) for block in partition for a in range(num_symbols)]
+    while worklist:
+        splitter, symbol_index = worklist.pop()
+        symbol_preds = preds[symbol_index]
+        pred_mask = 0
+        for target in iter_bits(splitter):
+            pred_mask |= symbol_preds[target]
+        if not pred_mask:
+            continue
+        new_partition = []
+        for block in partition:
+            inside = block & pred_mask
+            if inside and inside != block:
+                outside = block & ~pred_mask
+                new_partition.append(inside)
+                new_partition.append(outside)
+                smaller = inside if inside.bit_count() <= outside.bit_count() else outside
+                for a in range(num_symbols):
+                    worklist.append((smaller, a))
+            else:
+                new_partition.append(block)
+        partition = new_partition
+
+    block_of = [0] * dense.num_states
+    for block_id, block in enumerate(partition):
+        for state in iter_bits(block):
+            block_of[state] = block_id
+    min_delta = []
+    min_finals = 0
+    for block_id, block in enumerate(partition):
+        witness = (block & -block).bit_length() - 1
+        if dense.finals_mask >> witness & 1:
+            min_finals |= 1 << block_id
+        min_delta.append([block_of[target] for target in delta[witness]])
+    return DenseDFA(dense.symbols, min_delta, block_of[dense.initial], min_finals)
+
+
+def _minimize_dense_sparse(dense: DenseDFA) -> DenseDFA:
+    """Set-based Hopcroft over the dense arrays (large-automaton path)."""
+    delta = dense.delta
+    num_symbols = len(dense.symbols)
+    reachable = {dense.initial}
+    frontier = [dense.initial]
+    while frontier:
+        state = frontier.pop()
+        for target in delta[state]:
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+
+    inverse: list[dict[int, set[int]]] = [{} for _ in range(num_symbols)]
+    for state in reachable:
+        row = delta[state]
+        for symbol_index in range(num_symbols):
+            inverse[symbol_index].setdefault(row[symbol_index], set()).add(state)
+
+    finals = {state for state in reachable if dense.finals_mask >> state & 1}
+    nonfinals = reachable - finals
+    partition = [block for block in (finals, nonfinals) if block]
+    worklist: list[tuple[frozenset[int], int]] = [
+        (frozenset(block), a) for block in partition for a in range(num_symbols)
+    ]
+    while worklist:
+        splitter, symbol_index = worklist.pop()
+        symbol_inverse = inverse[symbol_index]
+        predecessors: set[int] = set()
+        for target in splitter:
+            predecessors |= symbol_inverse.get(target, set())
+        if not predecessors:
+            continue
+        new_partition: list[set[int]] = []
+        for block in partition:
+            inside = block & predecessors
+            outside = block - predecessors
+            if inside and outside:
+                new_partition.extend((inside, outside))
+                smaller = inside if len(inside) <= len(outside) else outside
+                for a in range(num_symbols):
+                    worklist.append((frozenset(smaller), a))
+            else:
+                new_partition.append(block)
+        partition = new_partition
+
+    block_of = [0] * dense.num_states
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_id
+    min_delta = []
+    min_finals = 0
+    for block_id, block in enumerate(partition):
+        witness = next(iter(block))
+        if dense.finals_mask >> witness & 1:
+            min_finals |= 1 << block_id
+        min_delta.append([block_of[target] for target in delta[witness]])
+    return DenseDFA(dense.symbols, min_delta, block_of[dense.initial], min_finals)
+
+
+# ----------------------------------------------------------------------
+# Product reachability: the A'-edge workhorse
+# ----------------------------------------------------------------------
+
+
+def view_transition_masks(ad: DenseDFA, view: NFA) -> tuple[int, ...]:
+    """Per-state target masks of the view-word reachability relation.
+
+    ``result[i]`` has bit ``j`` set iff some word of ``L(view)`` drives the
+    total DFA ``ad`` from state ``i`` to state ``j`` — exactly the
+    ``e``-edges of the paper's ``A'`` for the view ``e``, computed for
+    *all* source states in one semi-naive BFS: each product cell
+    (view-state, ``ad``-state) carries the bitmask of source states known
+    to reach it, and only newly added sources are propagated.
+    """
+    n = ad.num_states
+    if n > DENSE_RELATION_LIMIT:
+        return _view_transition_masks_sparse(ad, view)
+    dense_view = _dense_view(view)
+    symbol_index = {symbol: i for i, symbol in enumerate(ad.symbols)}
+    # Per view state: moves with the symbol resolved to ad's symbol index.
+    # Symbols outside ad's alphabet cannot occur (ad is total over the
+    # union alphabet) but are skipped defensively, matching the naive code.
+    view_moves: list[tuple[tuple[int, int], ...]] = []
+    for entries in dense_view.moves:
+        resolved = tuple(
+            (symbol_index[dense_view.symbols[s]], mask)
+            for s, mask in entries
+            if dense_view.symbols[s] in symbol_index
+        )
+        view_moves.append(resolved)
+
+    delta = ad.delta
+    reach: dict[int, list[int]] = {}
+    pending: dict[tuple[int, int], int] = {}
+    for v in iter_bits(dense_view.initials_mask):
+        row = reach.setdefault(v, [0] * n)
+        for d in range(n):
+            bit = 1 << d
+            row[d] |= bit
+            pending[(v, d)] = bit
+    while pending:
+        next_pending: dict[tuple[int, int], int] = {}
+        for (v, d), sources in pending.items():
+            ad_row = delta[d]
+            for ad_symbol, view_targets in view_moves[v]:
+                d_next = ad_row[ad_symbol]
+                targets = view_targets
+                while targets:
+                    low = targets & -targets
+                    targets ^= low
+                    v_next = low.bit_length() - 1
+                    row = reach.get(v_next)
+                    if row is None:
+                        row = reach[v_next] = [0] * n
+                    new = sources & ~row[d_next]
+                    if new:
+                        row[d_next] |= new
+                        cell = (v_next, d_next)
+                        bucket = next_pending.get(cell)
+                        next_pending[cell] = new if bucket is None else bucket | new
+        pending = next_pending
+
+    relation = [0] * n
+    for v in iter_bits(dense_view.finals_mask):
+        row = reach.get(v)
+        if row is None:
+            continue
+        for d in range(n):
+            sources = row[d]
+            bit = 1 << d
+            while sources:
+                low = sources & -sources
+                sources ^= low
+                relation[low.bit_length() - 1] |= bit
+    return tuple(relation)
+
+
+def _view_transition_masks_sparse(ad: DenseDFA, view: NFA) -> tuple[int, ...]:
+    """Per-source fallback for very large DFAs (bounded memory)."""
+    relation = [0] * ad.num_states
+    dense_view = _dense_view(view)
+    symbol_index = {symbol: i for i, symbol in enumerate(ad.symbols)}
+    view_moves = []
+    for entries in dense_view.moves:
+        view_moves.append(
+            tuple(
+                (symbol_index[dense_view.symbols[s]], mask)
+                for s, mask in entries
+                if dense_view.symbols[s] in symbol_index
+            )
+        )
+    delta = ad.delta
+    for source in range(ad.num_states):
+        # BFS over ad states, carrying per-state masks of view states.
+        seen: dict[int, int] = {source: dense_view.initials_mask}
+        frontier = [(source, dense_view.initials_mask)]
+        targets = 0
+        if dense_view.initials_mask & dense_view.finals_mask:
+            targets |= 1 << source
+        while frontier:
+            d, view_states = frontier.pop()
+            moved: dict[int, int] = {}
+            states = view_states
+            while states:
+                low = states & -states
+                states ^= low
+                for ad_symbol, view_targets in view_moves[low.bit_length() - 1]:
+                    d_next = delta[d][ad_symbol]
+                    moved[d_next] = moved.get(d_next, 0) | view_targets
+            for d_next, view_next in moved.items():
+                new = view_next & ~seen.get(d_next, 0)
+                if new:
+                    seen[d_next] = seen.get(d_next, 0) | new
+                    if new & dense_view.finals_mask:
+                        targets |= 1 << d_next
+                    frontier.append((d_next, new))
+        relation[source] = targets
+    return tuple(relation)
+
+
+# ----------------------------------------------------------------------
+# Memoization: dense views and (Ad, view) relations
+# ----------------------------------------------------------------------
+
+_VIEW_CACHE_MAXSIZE = 256
+_dense_view_cache: OrderedDict[NFA, DenseNFA] = OrderedDict()
+
+_RELATION_CACHE_MAXSIZE = 128
+_relation_cache: OrderedDict[tuple, tuple[int, ...]] = OrderedDict()
+_relation_hits = 0
+_relation_misses = 0
+
+
+def _dense_view(view: NFA) -> DenseNFA:
+    """Dense form of a view automaton, memoized per NFA identity.
+
+    :class:`NFA` instances are immutable and hash by identity, so keying
+    on the object is sound (the same pattern as the RPQ engine's
+    compilation cache); :class:`~repro.core.alphabet.ViewSet` caches its
+    compiled NFAs, so repeated rewritings against one view set hit here.
+    """
+    cached = _dense_view_cache.get(view)
+    if cached is not None:
+        _dense_view_cache.move_to_end(view)
+        return cached
+    dense = dense_from_nfa(view)
+    _dense_view_cache[view] = dense
+    if len(_dense_view_cache) > _VIEW_CACHE_MAXSIZE:
+        _dense_view_cache.popitem(last=False)
+    return dense
+
+
+def cached_view_transition_masks(
+    ad: DenseDFA, view: NFA, ad_key: tuple | None = None
+) -> tuple[int, ...]:
+    """Memoized :func:`view_transition_masks`.
+
+    Keyed on the *structural* fingerprint of ``ad`` plus the view automaton
+    identity, so `maximal_rewriting` and `existential_rewriting` of the
+    same query against the same view set — and batched rewritings of
+    repeated queries — share one relation computation.  Pass ``ad_key``
+    (from :meth:`DenseDFA.key`) to amortize the fingerprint across views.
+
+    Above :data:`DENSE_MINIMIZE_LIMIT` states the fingerprint itself is an
+    O(n * |Sigma|) tuple (tens of MB on the Section 3.2 reduction
+    instances, and the LRU would pin up to 128 of them), so huge automata
+    bypass the cache entirely.
+    """
+    global _relation_hits, _relation_misses
+    if ad.num_states > DENSE_MINIMIZE_LIMIT:
+        return view_transition_masks(ad, view)
+    key = (ad_key if ad_key is not None else ad.key(), view)
+    cached = _relation_cache.get(key)
+    if cached is not None:
+        _relation_hits += 1
+        _relation_cache.move_to_end(key)
+        return cached
+    _relation_misses += 1
+    relation = view_transition_masks(ad, view)
+    _relation_cache[key] = relation
+    if len(_relation_cache) > _RELATION_CACHE_MAXSIZE:
+        _relation_cache.popitem(last=False)
+    return relation
+
+
+def relation_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the relation cache (for tests/ops)."""
+    return {
+        "hits": _relation_hits,
+        "misses": _relation_misses,
+        "size": len(_relation_cache),
+        "maxsize": _RELATION_CACHE_MAXSIZE,
+    }
+
+
+def relation_cache_clear() -> None:
+    global _relation_hits, _relation_misses
+    _relation_cache.clear()
+    _dense_view_cache.clear()
+    _relation_hits = 0
+    _relation_misses = 0
+
+
+# ----------------------------------------------------------------------
+# Fused complement + minimize: the paper's step 3 in one sweep
+# ----------------------------------------------------------------------
+
+
+def rewrite_sweep(
+    relations: Sequence[Sequence[int]],
+    ad: DenseDFA,
+    symbols: tuple[Hashable, ...],
+    minimize_result: bool = True,
+) -> DenseDFA:
+    """Complement of the ``A'`` induced by ``relations``, optionally minimal.
+
+    ``relations[k][i]`` is the target mask of the ``symbols[k]``-edges out
+    of ``Ad`` state ``i`` (from :func:`view_transition_masks`).  ``A'``
+    itself — initial ``{ad.initial}``, finals = ``Ad``'s *non*-finals — is
+    never materialized: the subset construction runs directly over the
+    masks with complemented acceptance (a subset is accepting iff it
+    contains no ``Ad``-non-final state; the dead subset is accepting, which
+    is exactly the paper's vacuous case of a view word with no expansions).
+    """
+    n = ad.num_states
+    per_state_moves: list[tuple[tuple[int, int], ...]] = []
+    for state in range(n):
+        per_state_moves.append(
+            tuple(
+                (symbol_index, relation[state])
+                for symbol_index, relation in enumerate(relations)
+                if relation[state]
+            )
+        )
+    nonfinals_mask = ((1 << n) - 1) & ~ad.finals_mask
+    delta, finals_mask = _subset_sweep(
+        per_state_moves,
+        1 << ad.initial,
+        len(symbols),
+        nonfinals_mask,
+        complement=True,
+    )
+    result = DenseDFA(symbols, delta, 0, finals_mask)
+    if minimize_result:
+        result = minimize_dense(result)
+    return result

@@ -8,6 +8,10 @@ Examples::
     python -m repro rewrite --query 'a.(b+c)' --view q1=a --view q2=b \
         --partial
 
+    python -m repro rewrite --batch queries.txt --view e1=a --view e2=b
+
+    python -m repro rewrite --query 'a.b' --query '(a.b)*' --view e=a.b
+
     python -m repro check --query 'a*' --view 'e=a.a'     # non-emptiness
 
     python -m repro eval --graph edges.tsv --query 'a.b*'  # RPQ answers
@@ -35,6 +39,7 @@ from .core import (
     has_nonempty_rewriting,
     maximal_rewriting,
     nonempty_rewriting_witness,
+    rewrite_many,
 )
 from .regex.printer import to_string
 
@@ -50,9 +55,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     rewrite = sub.add_parser(
-        "rewrite", help="compute the maximal rewriting of a query"
+        "rewrite", help="compute the maximal rewriting of one or many queries"
     )
-    rewrite.add_argument("--query", required=True, help="the query E0")
+    rewrite.add_argument(
+        "--query",
+        action="append",
+        help="a query E0; repeatable (two or more run as a batch)",
+    )
+    rewrite.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="read queries from FILE (one per line, '#' comments, '-' for "
+        "stdin) and rewrite them all against the shared view set",
+    )
     rewrite.add_argument(
         "--view",
         action="append",
@@ -113,9 +128,37 @@ def _parse_views(definitions: Sequence[str]) -> ViewSet:
     return ViewSet(views)
 
 
+def _read_batch_queries(path: str) -> list[str]:
+    if path == "-":
+        handle = sys.stdin
+    else:
+        try:
+            handle = open(path, encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot read --batch file: {exc}") from None
+    try:
+        return [
+            stripped
+            for line in handle
+            if (stripped := line.strip()) and not stripped.startswith("#")
+        ]
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     views = _parse_views(args.view)
-    result = maximal_rewriting(args.query, views)
+    queries = list(args.query or [])
+    if args.batch is not None:
+        queries.extend(_read_batch_queries(args.batch))
+    if not queries:
+        raise SystemExit("rewrite needs at least one --query or a --batch file")
+    if len(queries) > 1:
+        if args.partial or args.dot:
+            raise SystemExit("--partial/--dot apply to single-query rewrites only")
+        return _cmd_rewrite_batch(queries, views)
+    result = maximal_rewriting(queries[0], views)
     print("rewriting:", to_string(result.regex()))
     print("empty:", result.is_empty())
     exact = result.is_exact()
@@ -125,7 +168,7 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         if witness is not None:
             print("missed query word:", ".".join(map(str, witness)) or "(empty)")
         if args.partial:
-            solutions = find_partial_rewritings(args.query, views)
+            solutions = find_partial_rewritings(queries[0], views)
             if solutions:
                 best = solutions[0]
                 print(
@@ -139,6 +182,21 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         from .automata import to_dot
 
         print(to_dot(result.automaton.trimmed(), name="rewriting"))
+    return 0
+
+
+def _cmd_rewrite_batch(queries: Sequence[str], views: ViewSet) -> int:
+    """Rewrite many queries against one view set, sharing compiled views."""
+    results = rewrite_many(queries, views)
+    nonempty = 0
+    for query, result in zip(queries, results):
+        empty = result.is_empty()
+        nonempty += not empty
+        print(f"query: {query}")
+        print("  rewriting:", to_string(result.regex()))
+        print("  empty:", empty)
+        print("  exact:", result.is_exact())
+    print(f"# {len(queries)} queries, {nonempty} nonempty rewritings", file=sys.stderr)
     return 0
 
 

@@ -12,7 +12,12 @@ Public entry points:
 """
 
 from .alphabet import LanguageSpec, ViewSet, compile_spec
-from .containing import ContainingRewriting, existential_rewriting
+from .batch import BatchRewriter, rewrite_many
+from .containing import (
+    ContainingRewriting,
+    existential_rewriting,
+    naive_existential_rewriting,
+)
 from .emptiness import has_nonempty_rewriting, nonempty_rewriting_witness
 from .exactness import exactness_counterexample, is_exact
 from .expansion import expansion_nfa, word_expansion_nfa
@@ -31,17 +36,32 @@ from .preferences import (
     sort_candidates,
 )
 from .result import RewritingResult
-from .rewriter import build_a_prime, build_ad, maximal_rewriting
+from .rewriter import (
+    build_a_prime,
+    build_ad,
+    maximal_rewriting,
+    naive_build_a_prime,
+    naive_build_ad,
+    naive_maximal_rewriting,
+    sigma_e_automaton,
+)
 
 __all__ = [
     "ViewSet",
     "LanguageSpec",
     "compile_spec",
+    "BatchRewriter",
+    "rewrite_many",
     "ContainingRewriting",
     "existential_rewriting",
+    "naive_existential_rewriting",
     "maximal_rewriting",
+    "naive_maximal_rewriting",
     "build_ad",
+    "naive_build_ad",
     "build_a_prime",
+    "naive_build_a_prime",
+    "sigma_e_automaton",
     "RewritingResult",
     "is_exact",
     "exactness_counterexample",

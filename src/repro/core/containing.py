@@ -37,9 +37,13 @@ from ..automata.state_elim import to_regex
 from ..regex.ast import Regex
 from .alphabet import LanguageSpec, ViewSet
 from .expansion import expansion_nfa
-from .rewriter import _as_view_set, build_ad
+from .rewriter import _as_view_set, build_ad, naive_build_ad, sigma_e_automaton
 
-__all__ = ["ContainingRewriting", "existential_rewriting"]
+__all__ = [
+    "ContainingRewriting",
+    "existential_rewriting",
+    "naive_existential_rewriting",
+]
 
 
 @dataclass
@@ -97,10 +101,25 @@ def existential_rewriting(
 
     Single-exponential: determinize ``E0`` (step 1 of the paper's
     construction), then build the Sigma_E automaton with ``Ad``'s finals —
-    no complement.
+    no complement.  The edge relation is the same one ``A'`` uses, so it
+    comes from the shared (and memoized) compiled
+    :func:`~repro.core.rewriter.sigma_e_automaton`: computing the maximal
+    and the existential rewriting of the same query costs the relation
+    only once.
     """
     views = _as_view_set(views)
     ad = build_ad(e0, views)
+    automaton = sigma_e_automaton(ad, views, finals=ad.finals).trimmed()
+    return ContainingRewriting(automaton=automaton, views=views, ad=ad)
+
+
+def naive_existential_rewriting(
+    e0: LanguageSpec,
+    views: ViewSet | Mapping[Hashable, LanguageSpec] | Iterable[LanguageSpec],
+) -> ContainingRewriting:
+    """The original dict-of-set construction — the differential oracle."""
+    views = _as_view_set(views)
+    ad = naive_build_ad(e0, views)
     from ..automata.operations import view_transition_relation
 
     transitions: dict[int, dict[Hashable, set[int]]] = {}

@@ -16,6 +16,23 @@ alphabet Sigma_E, compute the Sigma_E-maximal rewriting ``R_{E,E0}``:
 By Theorem 2.2 the result is Sigma_E-maximal, and by Theorem 2.1 also
 Sigma-maximal.  Total cost is doubly exponential (Theorem 3.1): one
 exponential for determinizing ``E0``, one for complementing ``A'``.
+
+Two implementations live side by side (mirroring the RPQ engine's
+pattern):
+
+* the **compiled pipeline** — the default behind :func:`maximal_rewriting`
+  — runs on the dense bitmask kernel of :mod:`repro.automata.compiled`:
+  bitset subset construction for ``Ad``, the all-sources product BFS of
+  :func:`~repro.automata.compiled.view_transition_masks` for the ``A'``
+  edges (memoized per (``Ad``, view), shared with
+  :func:`~repro.core.containing.existential_rewriting`), and step 3 fused
+  into one complemented subset sweep plus dense Hopcroft that never
+  materializes the intermediate NFA;
+* the **naive oracle** — :func:`naive_maximal_rewriting` and the
+  ``naive_``-prefixed step functions — is the original dict-of-set
+  transcription, retained for differential testing
+  (``tests/core/test_rewriter_differential.py``) and benchmarked against
+  in ``benchmarks/bench_thm31_rewriting_scaling.py``.
 """
 
 from __future__ import annotations
@@ -23,6 +40,16 @@ from __future__ import annotations
 import time
 from typing import Hashable, Iterable, Mapping
 
+from ..automata.compiled import (
+    DENSE_MINIMIZE_LIMIT,
+    DenseDFA,
+    cached_view_transition_masks,
+    dense_from_dfa,
+    determinize_dense,
+    iter_bits,
+    minimize_dense,
+    rewrite_sweep,
+)
 from ..automata.determinize import determinize
 from ..automata.dfa import DFA
 from ..automata.minimize import minimize
@@ -31,7 +58,15 @@ from ..automata.operations import complement, view_transition_relation
 from .alphabet import LanguageSpec, ViewSet, compile_spec
 from .result import RewritingResult
 
-__all__ = ["maximal_rewriting", "build_ad", "build_a_prime"]
+__all__ = [
+    "maximal_rewriting",
+    "naive_maximal_rewriting",
+    "build_ad",
+    "naive_build_ad",
+    "build_a_prime",
+    "naive_build_a_prime",
+    "sigma_e_automaton",
+]
 
 
 def maximal_rewriting(
@@ -41,6 +76,9 @@ def maximal_rewriting(
     minimize_result: bool = True,
 ) -> RewritingResult:
     """Compute the Sigma_E-maximal rewriting of ``e0`` with respect to ``views``.
+
+    This is the compiled pipeline; :func:`naive_maximal_rewriting` is the
+    retained reference implementation and must agree on every instance.
 
     Parameters
     ----------
@@ -65,12 +103,50 @@ def maximal_rewriting(
     stats: dict[str, float] = {}
 
     started = time.perf_counter()
-    ad = build_ad(e0, views, use_minimize=minimize_ad)
+    ad, dense_ad = _build_ad_dense(e0, views, use_minimize=minimize_ad)
     stats["ad_states"] = ad.num_states
     stats["time_ad"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    a_prime = build_a_prime(ad, views)
+    ad_key = _relation_key(dense_ad)
+    relations = [
+        cached_view_transition_masks(dense_ad, views.nfa(symbol), ad_key)
+        for symbol in views.symbols
+    ]
+    a_prime = _masks_to_nfa(relations, ad, views, finals=ad.states - ad.finals)
+    stats["a_prime_transitions"] = a_prime.num_transitions
+    stats["time_a_prime"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dense_rewriting = rewrite_sweep(
+        relations, dense_ad, views.symbols, minimize_result=minimize_result
+    )
+    rewriting = dense_rewriting.to_dfa()
+    stats["rewriting_states"] = rewriting.num_states
+    stats["time_complement"] = time.perf_counter() - started
+
+    return RewritingResult(
+        automaton=rewriting, views=views, ad=ad, a_prime=a_prime, stats=stats
+    )
+
+
+def naive_maximal_rewriting(
+    e0: LanguageSpec,
+    views: ViewSet | Mapping[Hashable, LanguageSpec] | Iterable[LanguageSpec],
+    minimize_ad: bool = True,
+    minimize_result: bool = True,
+) -> RewritingResult:
+    """The original dict-of-set construction — the differential oracle."""
+    views = _as_view_set(views)
+    stats: dict[str, float] = {}
+
+    started = time.perf_counter()
+    ad = naive_build_ad(e0, views, use_minimize=minimize_ad)
+    stats["ad_states"] = ad.num_states
+    stats["time_ad"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    a_prime = naive_build_a_prime(ad, views)
     stats["a_prime_transitions"] = a_prime.num_transitions
     stats["time_a_prime"] = time.perf_counter() - started
 
@@ -94,18 +170,90 @@ def build_ad(
     The automaton is completed over the *union* of the query's and the
     views' base alphabets: view words may use symbols that ``E0`` never
     mentions, and those words must be able to reach the dead state rather
-    than vanish.
+    than vanish.  Runs on the dense kernel; :func:`naive_build_ad` is the
+    dict-based original.
     """
+    ad, _dense = _build_ad_dense(e0, views, use_minimize=use_minimize)
+    return ad
+
+
+def _build_ad_dense(
+    e0: LanguageSpec, views: ViewSet, use_minimize: bool
+) -> tuple[DFA, DenseDFA]:
+    """Build ``Ad`` once, returning both the public DFA and its dense form.
+
+    The two share the ``0..n-1`` state numbering, so relation masks
+    computed on the dense form index directly into the DFA's states.
+    """
+    nfa = compile_spec(e0)
+    sigma = nfa.alphabet | views.base_alphabet()
+    if not sigma:
+        # Degenerate case: all languages are subsets of {epsilon}.  Give the
+        # automaton a throwaway symbol so completion yields a real sink.
+        sigma = frozenset({"#dead"})
+    symbols = tuple(sorted(sigma, key=repr))
+    dense = determinize_dense(nfa, symbols)
+    if use_minimize:
+        dense = minimize_dense(dense)
+    return dense.to_dfa(), dense
+
+
+def naive_build_ad(
+    e0: LanguageSpec, views: ViewSet, use_minimize: bool = True
+) -> DFA:
+    """The original step 1: determinize, minimize, then complete."""
     nfa = compile_spec(e0)
     dfa = determinize(nfa)
     if use_minimize:
         dfa = minimize(dfa)
     sigma = nfa.alphabet | views.base_alphabet()
     if not sigma:
-        # Degenerate case: all languages are subsets of {epsilon}.  Give the
-        # automaton a throwaway symbol so completion yields a real sink.
         sigma = frozenset({"#dead"})
     return dfa.completed(sigma)
+
+
+def sigma_e_automaton(
+    ad: DFA,
+    views: ViewSet | Mapping[Hashable, NFA],
+    finals: Iterable[int],
+) -> NFA:
+    """The Sigma_E automaton on ``Ad``'s states with the given final set.
+
+    This is the shared step-2 core: an ``e``-edge ``s_i -> s_j`` iff some
+    word of ``L(re(e))`` drives ``Ad`` from ``s_i`` to ``s_j``.  With
+    ``finals = Ad's non-finals`` it is the paper's ``A'``
+    (:func:`build_a_prime`); with ``finals = Ad's finals`` it is the
+    existential rewriting automaton of
+    :func:`~repro.core.containing.existential_rewriting`; the grounded
+    Section 4.2 construction passes its per-symbol view automata as a
+    plain mapping.  The edge relation runs on the compiled kernel and is
+    memoized per (``Ad``, view), so all callers share one computation.
+    """
+    if not ad.is_total():
+        raise ValueError("sigma_e_automaton requires a total DFA")
+    if isinstance(views, ViewSet):
+        view_nfas: Mapping[Hashable, NFA] = {
+            symbol: views.nfa(symbol) for symbol in views.symbols
+        }
+    else:
+        view_nfas = views
+    dense_ad, state_at = dense_from_dfa(ad)
+    ad_key = _relation_key(dense_ad)
+    transitions: dict[int, dict[Hashable, set[int]]] = {}
+    for symbol, view_nfa in view_nfas.items():
+        relation = cached_view_transition_masks(dense_ad, view_nfa, ad_key)
+        for index, mask in enumerate(relation):
+            if mask:
+                transitions.setdefault(state_at[index], {})[symbol] = {
+                    state_at[j] for j in iter_bits(mask)
+                }
+    return NFA(
+        states=ad.states,
+        alphabet=tuple(view_nfas),
+        transitions=transitions,
+        initials={ad.initial},
+        finals=finals,
+    )
 
 
 def build_a_prime(ad: DFA, views: ViewSet) -> NFA:
@@ -115,6 +263,11 @@ def build_a_prime(ad: DFA, views: ViewSet) -> NFA:
     ``wi in L(re(ei))`` drives ``Ad`` from the initial state to a non-final
     state — i.e. iff the word has an expansion *outside* ``L(E0)``.
     """
+    return sigma_e_automaton(ad, views, finals=ad.states - ad.finals)
+
+
+def naive_build_a_prime(ad: DFA, views: ViewSet) -> NFA:
+    """The original step 2, one per-source product BFS per view."""
     transitions: dict[int, dict[Hashable, set[int]]] = {}
     for symbol in views.symbols:
         relation = view_transition_relation(ad, views.nfa(symbol))
@@ -127,6 +280,39 @@ def build_a_prime(ad: DFA, views: ViewSet) -> NFA:
         transitions=transitions,
         initials={ad.initial},
         finals=ad.states - ad.finals,
+    )
+
+
+def _relation_key(dense_ad: DenseDFA) -> tuple | None:
+    """The relation-cache fingerprint, or ``None`` for huge automata.
+
+    Above the dense limit the cache is bypassed anyway (see
+    :func:`~repro.automata.compiled.cached_view_transition_masks`), so
+    building the O(n * |Sigma|) fingerprint would be pure waste.
+    """
+    if dense_ad.num_states > DENSE_MINIMIZE_LIMIT:
+        return None
+    return dense_ad.key()
+
+
+def _masks_to_nfa(
+    relations: list[tuple[int, ...]],
+    ad: DFA,
+    views: ViewSet,
+    finals: Iterable[int],
+) -> NFA:
+    """Materialize a Sigma_E NFA from relation masks (identity numbering)."""
+    transitions: dict[int, dict[Hashable, set[int]]] = {}
+    for symbol, relation in zip(views.symbols, relations):
+        for source, mask in enumerate(relation):
+            if mask:
+                transitions.setdefault(source, {})[symbol] = set(iter_bits(mask))
+    return NFA(
+        states=ad.states,
+        alphabet=views.symbols,
+        transitions=transitions,
+        initials={ad.initial},
+        finals=finals,
     )
 
 

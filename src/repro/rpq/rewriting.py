@@ -231,23 +231,14 @@ def _grounding_alphabet(
 def _a_prime_grounded(
     ad: DFA, views: RPQViews, theory: Theory, alphabet: frozenset[Hashable]
 ) -> NFA:
-    """Step 2 via full view grounding + the Section 2 relation computation."""
-    from ..automata.operations import view_transition_relation
+    """Step 2 via full view grounding + the shared compiled relation core."""
+    from ..core.rewriter import sigma_e_automaton
 
-    transitions: dict[int, dict[Hashable, set[int]]] = {}
-    for symbol in views.symbols:
-        grounded_view = views.rpq(symbol).grounded(theory, restrict_to=alphabet)
-        relation = view_transition_relation(ad, grounded_view)
-        for source, targets in relation.items():
-            if targets:
-                transitions.setdefault(source, {})[symbol] = set(targets)
-    return NFA(
-        states=ad.states,
-        alphabet=views.symbols,
-        transitions=transitions,
-        initials={ad.initial},
-        finals=ad.states - ad.finals,
-    )
+    grounded = {
+        symbol: views.rpq(symbol).grounded(theory, restrict_to=alphabet)
+        for symbol in views.symbols
+    }
+    return sigma_e_automaton(ad, grounded, finals=ad.states - ad.finals)
 
 
 def _a_prime_product(

@@ -1,0 +1,93 @@
+"""Tests for the batch rewriting front end (`repro.core.batch`)."""
+
+import pytest
+
+from repro.automata import are_isomorphic
+from repro.automata.compiled import relation_cache_clear, relation_cache_info
+from repro.core import (
+    BatchRewriter,
+    ViewSet,
+    maximal_rewriting,
+    rewrite_many,
+)
+
+FIG1_VIEWS = {"e1": "a", "e2": "a.c*.b", "e3": "c"}
+QUERIES = ["a.(b.a+c)*", "(a.c*.b)*", "a", "a.c", "c*"]
+
+
+class TestRewriteMany:
+    def test_matches_individual_rewritings(self):
+        views = ViewSet(FIG1_VIEWS)
+        batched = rewrite_many(QUERIES, views)
+        assert len(batched) == len(QUERIES)
+        for query, result in zip(QUERIES, batched):
+            solo = maximal_rewriting(query, views)
+            assert are_isomorphic(result.automaton, solo.automaton)
+
+    def test_duplicate_queries_share_one_result(self):
+        results = rewrite_many(["a.b", "a.b", "a.b"], {"e1": "a", "e2": "b"})
+        assert results[0] is results[1] is results[2]
+
+    def test_accepts_plain_view_specs(self):
+        results = rewrite_many(["a.b"], ["a", "b"])
+        assert results[0].accepts(("e1", "e2"))
+
+    def test_options_forwarded(self):
+        unminimized = rewrite_many(
+            ["(a+b)*.a"], FIG1_VIEWS, minimize_result=False
+        )[0]
+        minimized = rewrite_many(["(a+b)*.a"], FIG1_VIEWS)[0]
+        assert minimized.automaton.num_states <= unminimized.automaton.num_states
+
+
+class TestBatchRewriter:
+    def test_memoizes_per_query(self):
+        rewriter = BatchRewriter(FIG1_VIEWS)
+        first = rewriter.rewrite("a.c")
+        second = rewriter.rewrite("a.c")
+        assert first is second
+
+    def test_existential_shares_relations_with_maximal(self):
+        relation_cache_clear()
+        rewriter = BatchRewriter(FIG1_VIEWS)
+        rewriter.rewrite("a.(b.a+c)*")
+        before = relation_cache_info()
+        rewriter.rewrite_existential("a.(b.a+c)*")
+        after = relation_cache_info()
+        # Same Ad, same views: the existential pass recomputes nothing.
+        assert after["misses"] == before["misses"]
+        assert after["hits"] >= before["hits"] + len(ViewSet(FIG1_VIEWS))
+
+    def test_existential_memoized(self):
+        rewriter = BatchRewriter(FIG1_VIEWS)
+        assert rewriter.rewrite_existential("a") is rewriter.rewrite_existential("a")
+
+    def test_repeated_queries_hit_relation_cache(self):
+        relation_cache_clear()
+        rewriter = BatchRewriter(FIG1_VIEWS)
+        rewriter.rewrite("a.c")
+        first = relation_cache_info()["misses"]
+        # A structurally identical query under a different name: the memo
+        # key differs but Ad is structurally equal -> relations are shared.
+        rewriter.rewrite("a.(c)")
+        assert relation_cache_info()["misses"] == first
+
+    def test_unhashable_specs_fall_back_to_identity(self):
+        from repro.automata import to_nfa
+        from repro.regex.parser import parse
+
+        nfa = to_nfa(parse("a.b"))  # NFAs hash by identity; still fine
+        rewriter = BatchRewriter({"e1": "a", "e2": "b"})
+        assert rewriter.rewrite(nfa).accepts(("e1", "e2"))
+
+    def test_rewrite_all_preserves_order(self):
+        rewriter = BatchRewriter(FIG1_VIEWS)
+        results = rewriter.rewrite_all(["a", "c"])
+        assert results[0].accepts(("e1",)) and not results[0].accepts(("e3",))
+        assert results[1].accepts(("e3",)) and not results[1].accepts(("e1",))
+
+
+class TestValidation:
+    def test_empty_view_set_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRewriter({})

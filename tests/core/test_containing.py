@@ -5,7 +5,7 @@ from itertools import product
 import pytest
 
 from repro.core import ViewSet, maximal_rewriting
-from repro.core.containing import existential_rewriting
+from repro.core.containing import existential_rewriting, naive_existential_rewriting
 from repro.core.maximality import word_expansion_contained
 from repro.core.expansion import word_expansion_nfa
 from repro.automata.containment import is_contained
@@ -87,6 +87,80 @@ class TestCoverage:
         views = ViewSet(FIG1_VIEWS)
         result = existential_rewriting(E0, views)
         assert is_contained(result.ad, result.expansion())
+
+
+class TestCoverageFailures:
+    """View sets that *cannot* cover the query — the unhappy paths.
+
+    ``covers()`` false means no containing rewriting exists at all; the
+    counterexample must be a genuine query word outside every possible
+    expansion, which these tests verify semantically rather than just
+    structurally.
+    """
+
+    @pytest.mark.parametrize(
+        "e0, views",
+        [
+            ("a+d", {"e1": "a"}),                    # d unreachable
+            ("(a+b)*", {"e1": "a"}),                 # b unreachable
+            ("a.a.a", {"e1": "a.a"}),                # odd lengths unreachable
+            ("a.b", {"e1": "b.a"}),                  # wrong order
+            ("a", {"e1": "a.a"}),                    # too long
+            ("a*", {"e1": "b"}),                     # disjoint alphabets
+        ],
+    )
+    def test_non_covering_view_sets(self, e0, views):
+        result = existential_rewriting(e0, ViewSet(views))
+        assert not result.covers()
+        witness = result.coverage_counterexample()
+        assert witness is not None
+        # The witness is a word of L(E0)...
+        assert result.ad.accepts(witness)
+        # ...that no combination of view expansions can produce.
+        assert not result.expansion().accepts(witness)
+
+    def test_counterexample_none_exactly_when_covering(self):
+        covering = existential_rewriting(E0, ViewSet(FIG1_VIEWS))
+        assert covering.covers()
+        assert covering.coverage_counterexample() is None
+        failing = existential_rewriting("a.a.a", ViewSet({"e1": "a.a"}))
+        assert not failing.covers()
+        assert failing.coverage_counterexample() is not None
+
+    def test_odd_length_counterexample_word(self):
+        result = existential_rewriting("a.a.a", ViewSet({"e1": "a.a"}))
+        witness = result.coverage_counterexample()
+        assert witness == ("a", "a", "a")
+
+    def test_nonempty_rewriting_can_still_fail_to_cover(self):
+        # e1 contributes answers (covers a.a) yet a.a.a stays unreachable:
+        # usefulness of the rewriting does not imply coverage.
+        result = existential_rewriting("a.a+a.a.a", ViewSet({"e1": "a.a"}))
+        assert not result.is_empty()
+        assert result.accepts(("e1",))
+        assert not result.covers()
+        assert result.coverage_counterexample() == ("a", "a", "a")
+
+    def test_empty_query_is_vacuously_covered(self):
+        # L(E0) empty: nothing to cover, even by useless views.
+        result = existential_rewriting("%empty", ViewSet({"e1": "a"}))
+        assert result.is_empty()
+        assert result.covers()
+        assert result.coverage_counterexample() is None
+
+    @pytest.mark.parametrize(
+        "e0, views",
+        [
+            ("a+d", {"e1": "a"}),
+            ("a.a.a", {"e1": "a.a"}),
+            ("a.a+a.a.a", {"e1": "a.a"}),
+        ],
+    )
+    def test_naive_oracle_agrees_on_coverage_failures(self, e0, views):
+        compiled = existential_rewriting(e0, ViewSet(views))
+        naive = naive_existential_rewriting(e0, ViewSet(views))
+        assert compiled.covers() == naive.covers()
+        assert compiled.coverage_counterexample() == naive.coverage_counterexample()
 
 
 class TestMachinery:

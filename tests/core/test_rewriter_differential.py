@@ -1,0 +1,89 @@
+"""Differential property tests: compiled rewriting pipeline vs naive oracle.
+
+Mirrors ``tests/rpq/test_engine_differential.py``: the naive pipeline is
+the literal dict-of-set transcription of the paper's construction, the
+compiled pipeline is the dense bitmask kernel; on random queries x random
+view sets both must produce language-equivalent automata.  For the
+maximal rewriting both outputs are minimized total DFAs over Sigma_E, so
+language equivalence is checked as *isomorphism* (Myhill–Nerode
+uniqueness); the existential rewriting returns NFAs, which are minimized
+first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import are_isomorphic, determinize, minimize
+from repro.core import (
+    ViewSet,
+    existential_rewriting,
+    maximal_rewriting,
+    naive_existential_rewriting,
+    naive_maximal_rewriting,
+)
+
+from ..conftest import regex_strategy
+
+
+@st.composite
+def view_sets(draw, max_views: int = 3):
+    """Random view sets: 1..max_views random regex languages over {a,b,c}."""
+    count = draw(st.integers(min_value=1, max_value=max_views))
+    specs = [draw(regex_strategy(max_leaves=4)) for _ in range(count)]
+    return ViewSet.from_list(specs)
+
+
+def _canonical(nfa):
+    return minimize(determinize(nfa), trim=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(e0=regex_strategy(max_leaves=5), views=view_sets())
+def test_maximal_rewriting_matches_naive(e0, views):
+    compiled = maximal_rewriting(e0, views)
+    naive = naive_maximal_rewriting(e0, views)
+    assert are_isomorphic(compiled.automaton, naive.automaton)
+
+
+@settings(max_examples=25, deadline=None)
+@given(e0=regex_strategy(max_leaves=5), views=view_sets())
+def test_unminimized_results_still_equivalent(e0, views):
+    compiled = maximal_rewriting(e0, views, minimize_ad=False, minimize_result=False)
+    naive = naive_maximal_rewriting(e0, views, minimize_ad=False, minimize_result=False)
+    assert are_isomorphic(
+        _canonical(compiled.automaton.to_nfa()), _canonical(naive.automaton.to_nfa())
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(e0=regex_strategy(max_leaves=5), views=view_sets())
+def test_existential_rewriting_matches_naive(e0, views):
+    compiled = existential_rewriting(e0, views)
+    naive = naive_existential_rewriting(e0, views)
+    assert are_isomorphic(
+        _canonical(compiled.automaton), _canonical(naive.automaton)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(e0=regex_strategy(max_leaves=4), views=view_sets(max_views=2))
+def test_a_prime_artifacts_language_equivalent(e0, views):
+    """The A' attached to the result must match the oracle's, not just R."""
+    compiled = maximal_rewriting(e0, views)
+    naive = naive_maximal_rewriting(e0, views)
+    assert are_isomorphic(
+        _canonical(compiled.a_prime), _canonical(naive.a_prime)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(e0=regex_strategy(max_leaves=4), views=view_sets(max_views=2))
+def test_word_level_agreement(e0, views):
+    """Spot-check actual Sigma_E words, independent of automata comparisons."""
+    compiled = maximal_rewriting(e0, views)
+    naive = naive_maximal_rewriting(e0, views)
+    from itertools import product
+
+    for length in range(3):
+        for word in product(views.symbols, repeat=length):
+            assert compiled.accepts(word) == naive.accepts(word), word

@@ -70,6 +70,7 @@ class TestReductionInstance:
             counter_reduction(0)
 
 
+@pytest.mark.slow
 class TestTheorem34:
     """The heavy checks run against the session-cached n=1 rewriting."""
 

@@ -59,6 +59,40 @@ class TestRewrite:
             main(["rewrite", "--query", "a", "--view", "nonsense"])
 
 
+class TestRewriteBatch:
+    VIEWS = ["--view", "e1=a", "--view", "e2=a.c*.b", "--view", "e3=c"]
+
+    def test_batch_file(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("a.(b.a+c)*\n# a comment\n\n(a.c*.b)*\nd\n")
+        code = main(["rewrite", "--batch", str(batch), *self.VIEWS])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "query: a.(b.a+c)*" in captured.out
+        assert "rewriting: e2*.e1.e3*" in captured.out
+        assert "query: d" in captured.out
+        assert "empty: True" in captured.out
+        assert "3 queries, 2 nonempty rewritings" in captured.err
+
+    def test_repeated_query_flags_run_as_batch(self, capsys):
+        code = main(
+            ["rewrite", "--query", "a", "--query", "c", *self.VIEWS]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "query: a" in out and "query: c" in out
+
+    def test_batch_rejects_partial_flag(self, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("a\nc\n")
+        with pytest.raises(SystemExit):
+            main(["rewrite", "--batch", str(batch), "--partial", *self.VIEWS])
+
+    def test_no_queries_at_all_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "--view", "e1=a"])
+
+
 class TestCheck:
     def test_nonempty(self, capsys):
         code = main(["check", "--query", "a*", "--view", "e1=a"])
