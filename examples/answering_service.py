@@ -1,0 +1,55 @@
+"""The serving layer end to end: store, plan cache, query session.
+
+The data-integration scenario of Section 4 run as a long-lived service:
+view extensions arrive incrementally, compiled rewrite plans persist
+across processes, and queries are answered at the store's current
+version.  Run with ``PYTHONPATH=src python examples/answering_service.py``.
+"""
+
+import tempfile
+
+from repro.rpq import RPQViews, Theory
+from repro.service import MaterializedViewStore, QuerySession, RewritePlanCache
+
+theory = Theory.trivial({"flight", "train", "bus"})
+views = RPQViews(
+    {
+        "vF": "flight",
+        "vT": "train",
+        "vFT": "flight.train",
+        "vLoc": "bus*",
+    }
+)
+
+# Extensions as delivered by the sources — the service never sees a base DB.
+store = MaterializedViewStore(
+    {
+        "vF": [("oslo", "berlin"), ("berlin", "rome")],
+        "vT": [("berlin", "prague"), ("prague", "vienna")],
+        "vFT": [("oslo", "prague")],
+        "vLoc": [("vienna", "graz"), ("rome", "naples")],
+    }
+)
+
+plan_dir = tempfile.mkdtemp(prefix="repro-plans-")
+session = QuerySession(store, views, theory, plans=RewritePlanCache(plan_dir))
+
+QUERY = "flight.train*.bus*"
+print(f"query: {QUERY}")
+print("exact rewriting:", session.is_exact(QUERY))
+for pair in sorted(session.answer(QUERY)):
+    print("  answer:", pair)
+
+print("\nreachable from oslo:", sorted(session.answer_from(QUERY, "oslo")))
+print("oslo->graz?", session.answer_pair(QUERY, "oslo", "graz"))
+
+# Incremental update: a new train route opens; plans survive, answers refresh.
+store.add("vT", "vienna", "budapest")
+print("\nafter adding vienna->budapest by train:")
+print("reachable from oslo:", sorted(session.answer_from(QUERY, "oslo")))
+print("plans built:", session.plans.stats["built"], "(unchanged by the update)")
+
+# A second session (think: another worker process) reuses the disk plans.
+other = QuerySession(store, views, theory, plans=RewritePlanCache(plan_dir))
+assert other.answer(QUERY) == session.answer(QUERY)
+print("\nsecond session:", other.plans.stats, "- plans loaded, none rebuilt")

@@ -22,6 +22,8 @@ Package layout:
   main contribution);
 * :mod:`repro.rpq` — Section 4: regular path queries over graph databases,
   theories of edge formulae, view-based RPQ rewriting and answering;
+* :mod:`repro.service` — the answering service: materialized view store,
+  persistent rewrite-plan cache, and the ``QuerySession`` front end;
 * :mod:`repro.reductions` — Section 3.2: the EXPSPACE/2EXPSPACE tiling
   reductions and the 2^(2^n) counter family.
 """

@@ -38,7 +38,14 @@ from .operations import (
     union_nfa,
     view_transition_relation,
 )
-from .serialization import dfa_from_dict, dfa_to_dict, nfa_from_dict, nfa_to_dict, to_dot
+from .serialization import (
+    automaton_fingerprint,
+    dfa_from_dict,
+    dfa_to_dict,
+    nfa_from_dict,
+    nfa_to_dict,
+    to_dot,
+)
 from .state_elim import to_regex
 from .thompson import to_nfa, universal_nfa, word_nfa
 
@@ -87,5 +94,6 @@ __all__ = [
     "nfa_from_dict",
     "dfa_to_dict",
     "dfa_from_dict",
+    "automaton_fingerprint",
     "to_dot",
 ]

@@ -3,16 +3,34 @@
 Dict serialization restricts symbols to strings (the common case for the
 paper's alphabets); DOT export accepts any symbols and is used by the
 examples to render constructions like Figure 1.
+
+:func:`automaton_fingerprint` is the canonical-serialization layer used by
+the service's :class:`~repro.service.plancache.RewritePlanCache`: it maps
+an automaton to a deterministic digest that is stable across processes
+(construction from the same spec — e.g. the Thompson NFA of a regex
+string — always numbers states identically), so (query, view-set) cache
+keys computed in one process are found by another.  Unlike the dict form
+it accepts arbitrary symbols, falling back to ``repr`` for non-strings;
+it is a one-way key, not a round-trippable encoding.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Union
 
 from .dfa import DFA
 from .nfa import EPS, NFA
 
-__all__ = ["nfa_to_dict", "nfa_from_dict", "dfa_to_dict", "dfa_from_dict", "to_dot"]
+__all__ = [
+    "nfa_to_dict",
+    "nfa_from_dict",
+    "dfa_to_dict",
+    "dfa_from_dict",
+    "automaton_fingerprint",
+    "to_dot",
+]
 
 Automaton = Union[NFA, DFA]
 
@@ -85,6 +103,49 @@ def dfa_from_dict(data: dict[str, Any]) -> DFA:
         initial=data["initial"],
         finals=data["finals"],
     )
+
+
+def _symbol_token(symbol: Any) -> str:
+    """A deterministic textual token for an arbitrary alphabet symbol.
+
+    Strings are tagged to keep them disjoint from the ``repr`` fallback
+    (so the symbol ``"'a'"`` never collides with the symbol ``'a'``).
+    """
+    if symbol is EPS:
+        return "e:"
+    if isinstance(symbol, str):
+        return f"s:{symbol}"
+    return f"r:{symbol!r}"
+
+
+def automaton_fingerprint(automaton: Automaton) -> str:
+    """A canonical sha256 digest of the automaton's exact structure.
+
+    Two automata get the same fingerprint iff they have identical state
+    sets, alphabets, transitions, and initial/final sets (symbols compared
+    by their canonical token).  This is *structural* identity, not
+    language equivalence — deliberately, since the fingerprint keys caches
+    of construction outputs and must be cheap.
+    """
+    if isinstance(automaton, DFA):
+        kind = "dfa"
+        initials = [automaton.initial]
+    else:
+        kind = "nfa"
+        initials = sorted(automaton.initials)
+    payload = {
+        "kind": kind,
+        "states": sorted(automaton.states),
+        "alphabet": sorted(_symbol_token(a) for a in automaton.alphabet),
+        "transitions": sorted(
+            [src, _symbol_token(label), dst]
+            for src, label, dst in automaton.iter_transitions()
+        ),
+        "initials": initials,
+        "finals": sorted(automaton.finals),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def to_dot(automaton: Automaton, name: str = "automaton") -> str:

@@ -20,7 +20,13 @@ Examples::
 
     python -m repro eval --graph edges.tsv --query 'a.b*' --pair x y
 
-``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line.
+    python -m repro answer --query 'a.b' --view q1=a --view q2=b \
+        --extensions tuples.tsv --plan-cache .plans   # view-based answering
+
+    python -m repro serve-bench --nodes 300           # warm vs cold serving
+
+``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line;
+``tuples.tsv`` holds materialized ``view<TAB>source<TAB>target`` tuples.
 All regular expressions use the library's concrete syntax (``.``
 concatenation, ``+`` union, postfix ``*``; multi-character names are
 single symbols).
@@ -114,6 +120,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the per-source reference evaluator instead of the "
         "compiled engine, in any mode (differential debugging)",
+    )
+
+    answer = sub.add_parser(
+        "answer",
+        help="answer queries from materialized view extensions alone "
+        "(the data-integration scenario; no base database)",
+    )
+    answer.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="a query over the base alphabet; repeatable",
+    )
+    answer.add_argument(
+        "--view",
+        action="append",
+        required=True,
+        metavar="NAME=REGEX",
+        help="a view definition; repeatable",
+    )
+    answer.add_argument(
+        "--extensions",
+        required=True,
+        metavar="FILE",
+        help="TSV file of materialized tuples: view<TAB>source<TAB>target",
+    )
+    answer.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        help="persist compiled rewrite plans under DIR and reuse them "
+        "across invocations (skips re-determinization when warm)",
+    )
+    answer_mode = answer.add_mutually_exclusive_group()
+    answer_mode.add_argument(
+        "--source", help="only report targets reachable from this node"
+    )
+    answer_mode.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("SOURCE", "TARGET"),
+        help="decide one pair (exit code 0 if it is an answer, 1 if not)",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="run the warm-session vs cold-loop serving benchmark",
+    )
+    serve_bench.add_argument("--nodes", type=int, default=300)
+    serve_bench.add_argument("--edges", type=int, default=1500)
+    serve_bench.add_argument(
+        "--queries", type=int, default=None, help="how many workload queries"
+    )
+    serve_bench.add_argument("--seed", type=int, default=20260730)
+    serve_bench.add_argument(
+        "--plan-cache", metavar="DIR", help="persist plans under DIR"
     )
     return parser
 
@@ -267,12 +328,105 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_extensions(path: str) -> dict[str, set[tuple[str, str]]]:
+    """Parse a view<TAB>source<TAB>target TSV into per-view pair sets."""
+    extensions: dict[str, set[tuple[str, str]]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise SystemExit(
+                    f"{path}:{line_no}: expected 3 tab-separated fields "
+                    "(view, source, target)"
+                )
+            view, source, target = parts
+            extensions.setdefault(view, set()).add((source, target))
+    return extensions
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    from .rpq import RPQ, RPQViews, Theory
+    from .service import MaterializedViewStore, QuerySession, RewritePlanCache
+
+    view_specs = {}
+    for definition in args.view:
+        name, sep, expr = definition.partition("=")
+        if not sep or not name or not expr:
+            raise SystemExit(f"bad --view {definition!r}; expected NAME=REGEX")
+        view_specs[name] = expr
+    views = RPQViews(view_specs)
+    # The CLI speaks plain-label regexes; the domain D for each query is
+    # what that query and the views mention.  Deliberately per-query (not
+    # the union over all --query flags): the plan-cache key includes the
+    # theory, so a domain depending on *which other* queries ride along
+    # would defeat cross-invocation plan reuse.
+    views_alphabet: set[str] = set()
+    for symbol in views.symbols:
+        views_alphabet |= set(views.rpq(symbol).alphabet())
+
+    extensions = _read_extensions(args.extensions)
+    unknown = set(extensions) - set(views.symbols)
+    if unknown:
+        raise SystemExit(
+            f"{args.extensions}: tuples for undefined views: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    store = MaterializedViewStore(extensions)
+    plans = RewritePlanCache(args.plan_cache)
+
+    exit_code = 0
+    for query in args.query:
+        domain = views_alphabet | set(RPQ(query).alphabet())
+        if not domain:
+            raise SystemExit(f"query {query!r} and views mention no symbols")
+        session = QuerySession(store, views, Theory.trivial(domain), plans=plans)
+        plan = session.plan(query)
+        print(f"query: {query}")
+        print("  exact:", plan.is_exact())
+        if args.pair is not None:
+            source, target = args.pair
+            found = session.answer_pair(query, source, target)
+            print("  answer" if found else "  no answer")
+            exit_code = max(exit_code, 0 if found else 1)
+            continue
+        if args.source is not None:
+            answers = sorted(
+                (args.source, y) for y in session.answer_from(query, args.source)
+            )
+        else:
+            answers = sorted(session.answer(query))
+        for x, y in answers:
+            print(f"  {x}\t{y}")
+        print(f"  # {len(answers)} answers", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .service.bench import QUERIES, run_service_benchmark
+
+    report = run_service_benchmark(
+        num_nodes=args.nodes,
+        num_edges=args.edges,
+        num_queries=args.queries if args.queries is not None else len(QUERIES),
+        seed=args.seed,
+        plan_dir=args.plan_cache,
+    )
+    for line in report.lines():
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "rewrite": _cmd_rewrite,
         "check": _cmd_check,
         "eval": _cmd_eval,
+        "answer": _cmd_answer,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

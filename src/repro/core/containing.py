@@ -48,7 +48,11 @@ __all__ = [
 
 @dataclass
 class ContainingRewriting:
-    """The existential rewriting of ``E0`` wrt a view set."""
+    """The existential rewriting of ``E0`` wrt a view set: the Sigma_E
+    words *some* expansion of which lies in ``L(E0)`` (the candidate
+    superset of every rewriting; Section 5's containing rewriting).  Its
+    complement-free construction shares the per-(``Ad``, view) transition
+    relations with :func:`maximal_rewriting` via the kernel's cache."""
 
     automaton: NFA
     views: ViewSet

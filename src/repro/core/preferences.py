@@ -95,5 +95,9 @@ def best_candidates(candidates: list[RewritingCandidate]) -> list[RewritingCandi
 
 
 def sort_candidates(candidates: list[RewritingCandidate]) -> list[RewritingCandidate]:
-    """Sort candidates best-first (stable for incomparable pairs)."""
+    """Sort candidates best-first under the Section 4.3 preference order
+    (largest expansion, then fewest added atomic views, then fewest
+    non-elementary additions, then fewest views used), keeping the input
+    order of incomparable pairs — the partial-rewriting search relies on
+    this stability when presenting alternatives."""
     return sorted(candidates, key=functools.cmp_to_key(compare_candidates))

@@ -201,7 +201,11 @@ def _build_ad_dense(
 def naive_build_ad(
     e0: LanguageSpec, views: ViewSet, use_minimize: bool = True
 ) -> DFA:
-    """The original step 1: determinize, minimize, then complete."""
+    """The original step 1 (reference oracle): ``Ad`` via classic subset
+    construction, optional Hopcroft minimization, then completion over
+    ``Sigma union Sigma_E``-relevant base symbols.  Kept as the
+    dict-of-sets transcription that :func:`build_ad` (the dense bitmask
+    fast path) is differentially tested against."""
     nfa = compile_spec(e0)
     dfa = determinize(nfa)
     if use_minimize:
@@ -267,7 +271,11 @@ def build_a_prime(ad: DFA, views: ViewSet) -> NFA:
 
 
 def naive_build_a_prime(ad: DFA, views: ViewSet) -> NFA:
-    """The original step 2, one per-source product BFS per view."""
+    """The original step 2 (reference oracle): build ``A'`` by running one
+    per-source product BFS per view to find every ``Ad``-state pair some
+    view word connects.  The fast path (:func:`build_a_prime`) computes
+    the same relation with one all-sources bitmask sweep per view; the
+    differential tests require both to emit language-equal automata."""
     transitions: dict[int, dict[Hashable, set[int]]] = {}
     for symbol in views.symbols:
         relation = view_transition_relation(ad, views.nfa(symbol))

@@ -15,6 +15,10 @@ view-based rewriting/answering:
 * :func:`rewrite_rpq` — the Section 4.2 rewriting algorithm (Theorem 4.2),
   with the grounding-free product optimization and constant partitioning;
 * :func:`find_partial_rpq_rewritings` — Section 4.3 partial rewritings.
+
+For serving many queries over evolving view extensions — materialized
+view storage, persistent rewrite-plan caching, per-session evaluation
+state — use the layer above: :mod:`repro.service`.
 """
 
 from .answering import (

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping
 
-from .evaluation import ans, evaluate
+from .evaluation import evaluate
 from .graphdb import GraphDB
 from .query import RPQ, QuerySpec
 from .rewriting import RPQRewritingResult
@@ -38,8 +38,19 @@ def answer_with_views(
     result: RPQRewritingResult,
     extensions: Mapping[Hashable, Iterable[Pair]],
 ) -> frozenset[Pair]:
-    """Answers obtainable from view extensions alone (no base access)."""
-    return result.answer(db=GraphDB(), extensions=extensions)
+    """Answers obtainable from view extensions alone (no base access).
+
+    Sound by Definition 4.3 on any database consistent with the
+    extensions; complete as well when ``result.is_exact()`` holds and the
+    extensions are exact materializations.  Delegates to the service
+    layer's shared :func:`~repro.service.store.answer_on_extensions`
+    helper (as does :meth:`RPQRewritingResult.answer`); for a long-lived
+    store with incremental updates, use
+    :class:`repro.service.QuerySession` instead.
+    """
+    from ..service.store import answer_on_extensions
+
+    return answer_on_extensions(result.automaton, extensions)
 
 
 def rewriting_is_sound_on(

@@ -133,6 +133,9 @@ def compile_cache_info() -> dict[str, int]:
 
 
 def compile_cache_clear() -> None:
+    """Empty the compilation cache and reset its hit/miss counters —
+    used by tests and benchmarks that must measure or assert cold-path
+    behaviour (a serving process never needs to call this)."""
     _cache.clear()
     global _cache_hits, _cache_misses
     _cache_hits = 0

@@ -28,7 +28,11 @@ __all__ = ["Formula", "Const", "Pred", "And", "Or", "Not", "Top", "TOP"]
 
 @dataclass(frozen=True)
 class Formula:
-    """A unary formula ``lambda z. phi(z)`` over the domain."""
+    """A unary formula ``lambda z. phi(z)`` over the finite domain D
+    (Section 4.1, the [BDFS97]-style approach): RPQ alphabet symbols that
+    are formulae match an edge label ``a`` iff ``T |= phi(a)``
+    (Definition 4.1).  Compose with ``&``, ``|``, and ``~``; concrete
+    leaves are :class:`Const`, :class:`Pred`, and :class:`Top`."""
 
     def holds(self, theory: "Theory", constant: Hashable) -> bool:
         """Does ``T |= phi(constant)``?"""
@@ -46,7 +50,10 @@ class Formula:
 
 @dataclass(frozen=True)
 class Const(Formula):
-    """The elementary predicate ``lambda z. z = value``."""
+    """The elementary predicate ``lambda z. z = value`` — the embedding
+    of a plain edge label into the formula language; the paper treats
+    direct-label queries as exactly this special case, and the partial
+    rewriting search adds views of this shape (elementary views)."""
 
     value: Hashable
 
@@ -72,7 +79,10 @@ class Pred(Formula):
 
 @dataclass(frozen=True)
 class And(Formula):
-    """Conjunction of unary formulae."""
+    """Conjunction of unary formulae: holds at a constant iff every part
+    does.  Built by the ``&`` operator; the theory evaluates parts
+    left-to-right with short-circuiting, so order can matter for cost
+    but never for the result."""
 
     parts: tuple[Formula, ...]
 
@@ -85,7 +95,9 @@ class And(Formula):
 
 @dataclass(frozen=True)
 class Or(Formula):
-    """Disjunction of unary formulae."""
+    """Disjunction of unary formulae: holds at a constant iff at least
+    one part does.  Built by the ``|`` operator; like :class:`And` it
+    short-circuits left-to-right without affecting the result."""
 
     parts: tuple[Formula, ...]
 
@@ -98,7 +110,9 @@ class Or(Formula):
 
 @dataclass(frozen=True)
 class Not(Formula):
-    """Negation of a unary formula."""
+    """Negation of a unary formula — decidable because the theory is
+    complete: ``T |= ~phi(a)`` iff ``T |/= phi(a)`` over the finite
+    domain.  Built by the ``~`` operator."""
 
     inner: Formula
 

@@ -39,7 +39,11 @@ Pair = tuple[Hashable, Hashable]
 
 @dataclass(frozen=True)
 class GeneralizedPathQuery:
-    """A sequence of RPQ components ``Q1 ... Q_{n-1}``."""
+    """A conjunctive chain of RPQs ``y0 -Q1-> y1 -Q2-> ... -Qn-> yn``
+    (the paper's closing remark on generalized path queries): each
+    component constrains one hop between consecutive node variables, and
+    the answer is the set of ``(n+1)``-tuples witnessing all components
+    simultaneously."""
 
     components: tuple[RPQ, ...]
 
@@ -89,7 +93,11 @@ def _join(relations: Sequence[Iterable[Pair]]) -> frozenset[tuple[Hashable, ...]
 
 @dataclass
 class GeneralizedRewriting:
-    """Componentwise rewriting of a generalized path query."""
+    """Componentwise rewriting of a generalized path query: one
+    Sigma_Q-maximal RPQ rewriting per component, answered by evaluating
+    each over the views and joining on the shared node variables.  Exact
+    whenever every component rewriting is exact (a sufficient, not
+    necessary, condition)."""
 
     query: GeneralizedPathQuery
     components: tuple[RPQRewritingResult, ...]
@@ -130,7 +138,11 @@ def rewrite_gpq(
     theory: Theory,
     strategy: str = "product",
 ) -> GeneralizedRewriting:
-    """Rewrite every component with the Section 4.2 algorithm."""
+    """Rewrite every component of ``query`` with the Section 4.2
+    algorithm against one shared view set, returning a
+    :class:`GeneralizedRewriting` whose ``answer`` joins the component
+    answers; ``strategy`` selects the grounded or product construction
+    exactly as in :func:`~repro.rpq.rewriting.rewrite_rpq`."""
     views = _as_rpq_views(views)
     components = tuple(
         rewrite_rpq(component, views, theory, strategy=strategy)

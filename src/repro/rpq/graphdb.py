@@ -71,6 +71,40 @@ class GraphDB:
             self._in.setdefault(label, {}).setdefault(target_id, set()).add(source_id)
             self._num_edges += 1
 
+    def remove_edge(
+        self, source: Hashable, label: Hashable, target: Hashable
+    ) -> bool:
+        """Remove the edge ``source --label--> target`` if present.
+
+        Returns ``True`` when an edge was removed.  Nodes stay interned
+        (their dense ids remain valid) even when their last incident edge
+        disappears, so engine-facing id mappings never shift under a
+        long-lived store performing incremental updates.
+        """
+        source_id = self._id_of.get(source)
+        target_id = self._id_of.get(target)
+        if source_id is None or target_id is None:
+            return False
+        adjacency = self._out.get(label)
+        if adjacency is None:
+            return False
+        targets = adjacency.get(source_id)
+        if targets is None or target_id not in targets:
+            return False
+        targets.discard(target_id)
+        if not targets:
+            del adjacency[source_id]
+        if not adjacency:
+            del self._out[label]
+        reverse = self._in[label][target_id]
+        reverse.discard(source_id)
+        if not reverse:
+            del self._in[label][target_id]
+        if not self._in[label]:
+            del self._in[label]
+        self._num_edges -= 1
+        return True
+
     def add_path(
         self, start: Hashable, labels: Sequence[Hashable], nodes: Sequence[Hashable]
     ) -> None:

@@ -25,7 +25,10 @@ __all__ = ["PartialRPQRewriting", "find_partial_rpq_rewritings", "atomic_view_na
 
 
 def atomic_view_name(candidate: Hashable) -> str:
-    """The Sigma_Q symbol used for an added atomic view."""
+    """The Sigma_Q symbol minted for an atomic view added by the partial
+    rewriting search: ``q[P]`` for a predicate view, ``q[=a]`` for the
+    elementary view of a constant — kept distinct from user symbols so an
+    extended view set never collides with the original one."""
     if isinstance(candidate, Pred):
         return f"q[{candidate.name}]"
     return f"q[={candidate}]"

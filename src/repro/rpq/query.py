@@ -35,7 +35,12 @@ QuerySpec = Union[str, Regex, NFA, "RPQ"]
 
 
 class RPQ:
-    """A regular path query with an optional human-readable name."""
+    """A regular path query (Section 4.1): a regular language over edge
+    labels, or over unary formulae interpreted modulo a theory.  Accepts
+    a regex string, a :class:`~repro.regex.ast.Regex`, an
+    :class:`~repro.automata.nfa.NFA`, or another RPQ; the compiled and
+    epsilon-free automata are cached on the instance so repeated
+    evaluation and grounding never redo that work."""
 
     def __init__(self, spec: QuerySpec, name: str | None = None):
         self._eps_free: NFA | None = None

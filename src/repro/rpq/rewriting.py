@@ -44,12 +44,11 @@ from ..automata.state_elim import to_regex
 from ..core.alphabet import ViewSet
 from ..core.expansion import expansion_nfa
 from ..regex.ast import Regex
-from .evaluation import ans
 from .formulas import Const, Formula
 from .graphdb import GraphDB
 from .query import RPQ, QuerySpec
 from .theory import Theory
-from .views import RPQViews, view_graph
+from .views import RPQViews
 
 __all__ = ["rewrite_rpq", "RPQRewritingResult", "STRATEGIES"]
 
@@ -129,10 +128,11 @@ class RPQRewritingResult:
         from ``db`` when absent (the data-integration scenario supplies them
         directly and never touches ``db``).
         """
+        from ..service.store import answer_on_extensions
+
         if extensions is None:
             extensions = self.views.materialize(db, self.theory)
-        graph = view_graph(extensions)
-        return ans(self.automaton, graph)
+        return answer_on_extensions(self.automaton, extensions)
 
     def __repr__(self) -> str:
         return (

@@ -25,7 +25,11 @@ Pair = tuple[Hashable, Hashable]
 
 
 class RPQViews:
-    """The view set ``Q`` with its alphabet ``Sigma_Q``."""
+    """The view set ``Q = {Q1..Qk}`` of Section 4.2 with its alphabet
+    ``Sigma_Q``: a mapping from view symbols to RPQs (the paper's
+    ``rpq(q)``).  Provides extension via new views (Section 4.3) and
+    materialization of every view over a database — the input to
+    view-based answering."""
 
     def __init__(self, views: Mapping[Hashable, QuerySpec]):
         if not views:

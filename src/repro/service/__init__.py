@@ -1,0 +1,38 @@
+"""The view-based answering service (the paper's Section 4 put to work).
+
+Everything below Section 4's algorithms exists to support one serving
+regime: a mediator that is given view *definitions* once, receives view
+*extensions* as data arrives, and answers a stream of queries using the
+views alone.  This package is that layer, assembled from the compiled
+halves built underneath it:
+
+* :class:`MaterializedViewStore` — versioned, incrementally updatable
+  storage of view extensions on top of the label-indexed
+  :class:`~repro.rpq.graphdb.GraphDB`;
+* :class:`RewritePlanCache` — compiled rewrite plans (rewriting DFA +
+  ``Ad`` + ``A'``) keyed by canonical serialization and persisted to
+  disk, so no process ever repeats a subset construction another process
+  already paid for;
+* :class:`QuerySession` — the front end: all-pairs / single-source /
+  single-pair answering against the current store version, with plan
+  state immune to data changes and evaluation state invalidated by them;
+* :func:`answer_on_extensions` — the shared one-shot helper turning raw
+  extensions into answers (used by the ``repro.rpq`` convenience API).
+
+See ``docs/architecture.md`` for the layer diagram and
+``docs/quickstart.md`` for an executable end-to-end walkthrough.
+"""
+
+from .plancache import RewritePlanCache, plan_from_dict, plan_key, plan_to_dict
+from .session import QuerySession
+from .store import MaterializedViewStore, answer_on_extensions
+
+__all__ = [
+    "MaterializedViewStore",
+    "answer_on_extensions",
+    "RewritePlanCache",
+    "plan_key",
+    "plan_to_dict",
+    "plan_from_dict",
+    "QuerySession",
+]

@@ -1,0 +1,212 @@
+"""Reference workload + harness for the serving-layer benchmark.
+
+One deterministic scenario, shared by ``repro serve-bench`` (the CLI
+verb) and ``benchmarks/bench_service_answering.py`` (the CI gate): a
+random base database, a fixed mediated schema of five views, and a
+24-query workload answered two ways —
+
+* **cold** — the pre-service regime: every query pays
+  ``rewrite_rpq`` + extension→graph conversion + evaluation from
+  scratch, with all process-level caches cleared first (what a
+  one-shot script does per query);
+* **warm** — the service regime: one :class:`QuerySession` over one
+  :class:`MaterializedViewStore`, with plans cached.  Measured twice:
+  right after a data update (plans warm, evaluation state freshly
+  invalidated) and again at steady state (answer memo hits).
+
+Answers from every regime must be identical; the harness raises
+otherwise, so the speedups it reports are never bought with wrong
+results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..automata.compiled import relation_cache_clear
+from ..rpq import engine as _engine
+from ..rpq.graphdb import random_graph
+from ..rpq.rewriting import rewrite_rpq
+from ..rpq.theory import Theory
+from ..rpq.views import RPQViews
+from .plancache import RewritePlanCache
+from .session import QuerySession
+from .store import MaterializedViewStore, answer_on_extensions
+
+__all__ = ["ServiceBenchReport", "default_workload", "run_service_benchmark"]
+
+LABELS = ("a", "b", "c")
+
+VIEW_DEFS = {
+    "va": "a",
+    "vb": "b",
+    "vc": "c",
+    "vab": "a.b",
+    "vbc": "b.c",
+}
+
+QUERIES = (
+    "a.b",
+    "a.b.c",
+    "(a.b)*",
+    "a.(b+c)*",
+    "(a+b)*.c",
+    "c*.a.(b+c)*",
+    "a*.b",
+    "(b.c)*",
+    "a.(b.c)*",
+    "(a+b+c)*",
+    "b.c.a",
+    "(a.b+b.c)*",
+    "a.b+b.c",
+    "c.(a+b)*.c",
+    "a.a*",
+    "(c+a.b)*",
+    "b*.c*",
+    "a.(b+c.a)*",
+    "(a.b.c)*",
+    "b.(a+c)*.b",
+    "a+b.c*",
+    "(b+c)*.a",
+    "c.c*",
+    "a.b.(c+a)*",
+)
+
+
+@dataclass
+class ServiceBenchReport:
+    """Timings (seconds) and cache statistics of one benchmark run."""
+
+    num_nodes: int
+    num_edges: int
+    num_queries: int
+    cold_seconds: float
+    warm_build_seconds: float
+    warm_fresh_seconds: float
+    warm_steady_seconds: float
+    plan_stats: dict[str, int] = field(default_factory=dict)
+    session_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fresh_speedup(self) -> float:
+        """Cold vs warm-with-fresh-evaluation (plans cached, data changed)."""
+        return self.cold_seconds / self.warm_fresh_seconds
+
+    @property
+    def steady_speedup(self) -> float:
+        """Cold vs steady-state serving (plans + answer memo warm)."""
+        return self.cold_seconds / self.warm_steady_seconds
+
+    def lines(self) -> list[str]:
+        per_query = self.cold_seconds / self.num_queries
+        return [
+            f"workload: {self.num_queries} queries over a view graph of "
+            f"{self.num_nodes} nodes / {self.num_edges} base edges",
+            f"cold rewrite+evaluate loop: {self.cold_seconds:.3f}s "
+            f"({per_query * 1000:.1f}ms/query)",
+            f"warm-up (plan builds):      {self.warm_build_seconds:.3f}s",
+            f"warm, evaluation fresh:     {self.warm_fresh_seconds:.3f}s "
+            f"({self.fresh_speedup:.1f}x)",
+            f"warm, steady state:         {self.warm_steady_seconds:.3f}s "
+            f"({self.steady_speedup:.1f}x)",
+            f"plan cache: {self.plan_stats}",
+            f"session:    {self.session_stats}",
+        ]
+
+
+def default_workload(
+    num_nodes: int = 1000, num_edges: int = 5000, seed: int = 20260730
+):
+    """The benchmark scenario: (views, theory, extensions) + query list."""
+    theory = Theory.trivial(set(LABELS))
+    views = RPQViews(dict(VIEW_DEFS))
+    db = random_graph(random.Random(seed), num_nodes, list(LABELS), num_edges)
+    extensions = views.materialize(db, theory)
+    return views, theory, extensions
+
+
+def run_service_benchmark(
+    num_nodes: int = 1000,
+    num_edges: int = 5000,
+    num_queries: int = len(QUERIES),
+    seed: int = 20260730,
+    plan_dir: str | None = None,
+) -> ServiceBenchReport:
+    """Run the cold-vs-warm comparison; raises on any answer mismatch."""
+    if not 1 <= num_queries <= len(QUERIES):
+        raise ValueError(f"num_queries must be in 1..{len(QUERIES)}")
+    queries = QUERIES[:num_queries]
+    views, theory, extensions = default_workload(num_nodes, num_edges, seed)
+
+    # Cold: per query, a fresh process would have empty caches — model it
+    # by clearing the engine-compilation and kernel-relation memos, then
+    # paying rewrite + conversion + evaluation in full.
+    cold_answers: list[frozenset] = []
+    started = time.perf_counter()
+    for query in queries:
+        _engine.compile_cache_clear()
+        relation_cache_clear()
+        result = rewrite_rpq(query, views, theory)
+        cold_answers.append(answer_on_extensions(result.automaton, extensions))
+    cold_seconds = time.perf_counter() - started
+
+    # Warm: one store + one session; plans built once at startup.
+    store = MaterializedViewStore(extensions)
+    plans = RewritePlanCache(plan_dir)
+    session = QuerySession(store, views, theory, plans=plans)
+    _engine.compile_cache_clear()
+    relation_cache_clear()
+    started = time.perf_counter()
+    session.warm(queries)
+    warm_build_seconds = time.perf_counter() - started
+
+    # A data change invalidates evaluation state but no plans: the next
+    # pass re-evaluates every query against the new version.  The probe
+    # tuple connects nodes the store already knows — node interning is
+    # append-only, so a brand-new node name would survive the removal and
+    # shift the reflexive answers of epsilon-accepting rewritings.
+    probe: tuple[Hashable, Hashable] | None = None
+    known = sorted(store.graph.nodes, key=repr)[:50]
+    existing = store.extension("va")
+    for source in known:
+        for target in known:
+            if (source, target) not in existing:
+                probe = (source, target)
+                break
+        if probe:
+            break
+    if probe is None:
+        raise AssertionError("could not find a free probe tuple")
+    store.add("va", *probe)
+    store.remove("va", *probe)
+    built_before = plans.stats["built"]
+    started = time.perf_counter()
+    warm_fresh = session.answer_many(queries)
+    warm_fresh_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_steady = session.answer_many(queries)
+    warm_steady_seconds = time.perf_counter() - started
+    if plans.stats["built"] != built_before:
+        raise AssertionError("data update must not invalidate rewrite plans")
+
+    for query, cold, fresh, steady in zip(
+        queries, cold_answers, warm_fresh, warm_steady
+    ):
+        if not (cold == fresh == steady):
+            raise AssertionError(f"answer mismatch for query {query!r}")
+
+    return ServiceBenchReport(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        num_queries=len(queries),
+        cold_seconds=cold_seconds,
+        warm_build_seconds=warm_build_seconds,
+        warm_fresh_seconds=warm_fresh_seconds,
+        warm_steady_seconds=warm_steady_seconds,
+        plan_stats=dict(plans.stats),
+        session_stats=dict(session.stats),
+    )

@@ -1,0 +1,202 @@
+"""The answering front end: compile once, answer many, over evolving data.
+
+:class:`QuerySession` ties the two fast halves of the repo together into
+the regime the ROADMAP targets — a long-lived mediator that owns
+
+* a :class:`~repro.service.store.MaterializedViewStore` (the data),
+* a :class:`~repro.service.plancache.RewritePlanCache` (the compiled
+  rewrite plans, shared across sessions and process restarts), and
+* the RPQ engine's compiled evaluation state (transition tables of each
+  rewriting specialized to the store's current label domain, plus
+  memoized answer sets).
+
+The cache-invalidation contract is the point: **data changes invalidate
+only evaluation state, never plans.**  A plan depends on (query, views,
+theory) alone; the per-plan compiled tables depend additionally on the
+store's label domain (they survive most updates — the engine's
+compilation LRU is keyed on the domain, which rarely changes); the
+answer memo depends on the exact store version and is dropped on any
+update.  Requests come in the three shapes of the engine:
+:meth:`QuerySession.answer` (all pairs), :meth:`answer_from`
+(single source), and :meth:`answer_pair` (one pair, decided by the
+bidirectional search without computing the full answer set).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from ..automata.nfa import NFA
+from ..rpq import engine as _engine
+from ..rpq.query import QuerySpec
+from ..rpq.rewriting import RPQRewritingResult
+from ..rpq.theory import Theory
+from ..rpq.views import RPQViews
+from .plancache import RewritePlanCache
+from .store import MaterializedViewStore
+
+__all__ = ["QuerySession"]
+
+Pair = tuple[Hashable, Hashable]
+
+
+class QuerySession:
+    """Serves view-based RPQ answers against one store and one view set.
+
+    ``views``/``theory`` fix the mediated schema; ``plans`` may be shared
+    between sessions (and, when it has a directory, between processes).
+    All answering goes through the current contents of ``store`` — the
+    session re-validates its memoized evaluation state against
+    ``store.version`` on every request, so interleaved updates and reads
+    are always consistent.
+    """
+
+    def __init__(
+        self,
+        store: MaterializedViewStore,
+        views: RPQViews | Mapping[Hashable, QuerySpec],
+        theory: Theory,
+        plans: RewritePlanCache | None = None,
+    ):
+        self.store = store
+        self.views = views if isinstance(views, RPQViews) else RPQViews(views)
+        self.theory = theory
+        self.plans = plans if plans is not None else RewritePlanCache()
+        # key -> (plan, rewriting-as-NFA); the NFA object is cached so the
+        # engine's compilation LRU (keyed on automaton identity) hits on
+        # every request instead of recompiling per call.
+        self._compiled_plans: dict[str, tuple[RPQRewritingResult, NFA]] = {}
+        # query spec -> plan key: views and theory are fixed per session,
+        # so the canonical key (fingerprints + sha256) is computed once
+        # per distinct query, keeping repeated requests at dict lookups.
+        self._plan_keys: dict[Hashable, str] = {}
+        self._answers: dict[str, frozenset[Pair]] = {}
+        self._answers_version = -1
+        self.stats = {"requests": 0, "answer_memo_hits": 0, "invalidations": 0}
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def plan(self, query: QuerySpec) -> RPQRewritingResult:
+        """The compiled rewrite plan for ``query`` (built at most once)."""
+        return self._plan_entry(query)[1][0]
+
+    def is_exact(self, query: QuerySpec) -> bool:
+        """Is the plan's rewriting exact (answers complete, Thm 4.1)?"""
+        return self.plan(query).is_exact()
+
+    def warm(self, queries: Iterable[QuerySpec]) -> None:
+        """Pre-build plans for ``queries`` (e.g. at service startup)."""
+        for query in queries:
+            self._plan_entry(query)
+
+    def _plan_entry(
+        self, query: QuerySpec
+    ) -> tuple[str, tuple[RPQRewritingResult, NFA]]:
+        # Every QuerySpec shape (str, Regex, NFA, RPQ) is hashable; an
+        # out-of-contract spec fails loudly here rather than being keyed
+        # by a recyclable id().
+        key = self._plan_keys.get(query)
+        if key is None:
+            key = self.plans.key(query, self.views, self.theory)
+            self._plan_keys[query] = key
+        entry = self._compiled_plans.get(key)
+        if entry is None:
+            plan = self.plans.get_or_build(query, self.views, self.theory, key=key)
+            entry = (plan, plan.automaton.to_nfa())
+            self._compiled_plans[key] = entry
+        return key, entry
+
+    def _compiled(self, nfa: NFA) -> _engine.CompiledAutomaton:
+        # plain_symbols: the rewriting is a language over Sigma_Q and view
+        # symbols on the store's graph are matched by equality (``ans``).
+        return _engine.compile_automaton(
+            nfa, None, self.store.graph.domain(), plain_symbols=True
+        )
+
+    def _known_node(self, node: Hashable) -> bool:
+        """Is ``node`` part of the store's view graph?  Checked up front
+        so unknown-endpoint requests return empty/false by contract,
+        while genuine evaluation errors still propagate (the engine's
+        own ``KeyError`` is not blanket-caught)."""
+        try:
+            self.store.graph.node_id(node)
+        except KeyError:
+            return False
+        return True
+
+    def _sync_version(self) -> None:
+        version = self.store.version
+        if version != self._answers_version:
+            if self._answers:
+                self.stats["invalidations"] += 1
+            self._answers.clear()
+            self._answers_version = version
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer(self, query: QuerySpec) -> frozenset[Pair]:
+        """All pairs in ``ans(rewriting, store)`` at the current version.
+
+        Memoized per (plan, store version): repeated requests for the
+        same query between updates are dictionary lookups.
+        """
+        self.stats["requests"] += 1
+        self._sync_version()
+        key, (_plan, nfa) = self._plan_entry(query)
+        cached = self._answers.get(key)
+        if cached is not None:
+            self.stats["answer_memo_hits"] += 1
+            return cached
+        answers = _engine.evaluate_all(self.store.graph, self._compiled(nfa))
+        self._answers[key] = answers
+        return answers
+
+    def answer_from(self, query: QuerySpec, source: Hashable) -> frozenset[Hashable]:
+        """All ``y`` with ``(source, y)`` in the answer (single-source sweep).
+
+        A node the store has never seen is not part of the view graph, so
+        it contributes no answers (matching :meth:`answer`, whose pairs
+        only ever mention stored nodes) — unlike the raw engine, the
+        session does not raise on unknown nodes.
+        """
+        self.stats["requests"] += 1
+        self._sync_version()
+        _key, (_plan, nfa) = self._plan_entry(query)
+        if not self._known_node(source):
+            return frozenset()
+        return _engine.evaluate_single_source(
+            self.store.graph, self._compiled(nfa), source
+        )
+
+    def answer_pair(
+        self, query: QuerySpec, source: Hashable, target: Hashable
+    ) -> bool:
+        """Is ``(source, target)`` in the answer?  Bidirectional search."""
+        self.stats["requests"] += 1
+        self._sync_version()
+        _key, (_plan, nfa) = self._plan_entry(query)
+        if not (self._known_node(source) and self._known_node(target)):
+            return False
+        return _engine.evaluate_pair(
+            self.store.graph, self._compiled(nfa), source, target
+        )
+
+    def answer_many(
+        self, queries: Iterable[QuerySpec]
+    ) -> list[frozenset[Pair]]:
+        """Answer a batch of queries; the i-th result matches ``queries[i]``.
+
+        Plans, compiled tables, and (between updates) answer sets are all
+        shared, so a batch retains exactly one construction per distinct
+        query across the session's lifetime.
+        """
+        return [self.answer(query) for query in queries]
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession(views={list(self.views.symbols)}, "
+            f"plans={len(self._compiled_plans)}, "
+            f"store_version={self.store.version})"
+        )

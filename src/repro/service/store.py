@@ -1,0 +1,208 @@
+"""Materialized view storage for the answering service (Section 4's scenario).
+
+In the paper's data-integration regime the answering engine never touches
+the base database: it only sees the *extensions* of the materialized views
+``Q1..Qk`` — sets of node pairs, one per view symbol of ``Sigma_Q`` — and
+evaluates rewritings over the graph those extensions induce.
+
+:class:`MaterializedViewStore` is the long-lived home of that data.  It
+wraps a single :class:`~repro.rpq.graphdb.GraphDB` whose edge labels are
+the view symbols, so the engine's label-first indexes double as per-view
+indexes (one bulk set union expands a whole frontier through one view),
+and keeps the per-view pair sets alongside for exact membership and
+round-tripping.  Every successful mutation bumps a version counter, which
+is what lets :class:`~repro.service.session.QuerySession` invalidate
+cached *evaluation* state on data changes while never touching compiled
+rewrite plans (plans depend only on the query, the views, and the theory
+— not on the data).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from ..rpq.evaluation import ans
+from ..rpq.graphdb import GraphDB
+from ..rpq.views import view_graph
+
+__all__ = ["MaterializedViewStore", "answer_on_extensions"]
+
+Pair = tuple[Hashable, Hashable]
+
+
+def answer_on_extensions(
+    language, extensions: Mapping[Hashable, Iterable[Pair]]
+) -> frozenset[Pair]:
+    """Evaluate a rewriting over view extensions alone (no base access).
+
+    The one shared implementation of "interpret each view symbol as its
+    extension, then evaluate the Sigma_Q language on the induced graph" —
+    used by :meth:`repro.rpq.rewriting.RPQRewritingResult.answer`, by
+    :func:`repro.rpq.answering.answer_with_views`, and by the service's
+    :class:`~repro.service.session.QuerySession` (which additionally keeps
+    the induced graph alive in a :class:`MaterializedViewStore` instead of
+    rebuilding it per call).
+    """
+    return ans(language, view_graph(extensions))
+
+
+class MaterializedViewStore:
+    """Versioned, incrementally updatable materialized view extensions.
+
+    The store accepts tuples one at a time (:meth:`add` / :meth:`remove`),
+    in bulk (:meth:`add_many` / :meth:`remove_many` / :meth:`replace`), or
+    wholesale from a database via :meth:`load`.  Reads
+    (:attr:`graph`, :meth:`extension`, :meth:`snapshot`) always reflect
+    the current :attr:`version`.
+    """
+
+    def __init__(
+        self, extensions: Mapping[Hashable, Iterable[Pair]] | None = None
+    ):
+        self._graph = GraphDB()
+        self._pairs: dict[Hashable, set[Pair]] = {}
+        self._version = 0
+        if extensions:
+            for symbol, pairs in extensions.items():
+                self.add_many(symbol, pairs)
+
+    # ------------------------------------------------------------------
+    # Mutation (every effective change bumps the version)
+    # ------------------------------------------------------------------
+    def add(self, symbol: Hashable, source: Hashable, target: Hashable) -> bool:
+        """Add one tuple to the extension of ``symbol``; ``True`` if new."""
+        pairs = self._pairs.setdefault(symbol, set())
+        if (source, target) in pairs:
+            return False
+        pairs.add((source, target))
+        self._graph.add_edge(source, symbol, target)
+        self._version += 1
+        return True
+
+    def remove(
+        self, symbol: Hashable, source: Hashable, target: Hashable
+    ) -> bool:
+        """Remove one tuple from the extension of ``symbol``, if present.
+
+        The node universe is append-only (mirroring ``GraphDB``'s dense
+        interning): a node whose last tuple is removed stays a node of
+        :attr:`graph`, so rewritings accepting the empty word keep
+        reporting its reflexive pair, exactly as the paper's ``ans``
+        does for isolated database nodes.
+        """
+        pairs = self._pairs.get(symbol)
+        if pairs is None or (source, target) not in pairs:
+            return False
+        pairs.discard((source, target))
+        if not pairs:
+            del self._pairs[symbol]
+        self._graph.remove_edge(source, symbol, target)
+        self._version += 1
+        return True
+
+    def add_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
+        """Add tuples in bulk; returns how many were actually new.
+
+        Bumps the version at most once, so a batch load invalidates
+        downstream evaluation caches a single time.
+        """
+        existing = self._pairs.setdefault(symbol, set())
+        added = 0
+        for source, target in pairs:
+            if (source, target) in existing:
+                continue
+            existing.add((source, target))
+            self._graph.add_edge(source, symbol, target)
+            added += 1
+        if not existing:
+            del self._pairs[symbol]
+        if added:
+            self._version += 1
+        return added
+
+    def remove_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
+        """Remove tuples in bulk; returns how many were actually removed."""
+        existing = self._pairs.get(symbol)
+        if not existing:
+            return 0
+        removed = 0
+        for source, target in pairs:
+            if (source, target) not in existing:
+                continue
+            existing.discard((source, target))
+            self._graph.remove_edge(source, symbol, target)
+            removed += 1
+        if not existing:
+            del self._pairs[symbol]
+        if removed:
+            self._version += 1
+        return removed
+
+    def replace(self, symbol: Hashable, pairs: Iterable[Pair]) -> None:
+        """Swap the whole extension of ``symbol`` (a view refresh)."""
+        new_pairs = set(pairs)
+        old_pairs = self._pairs.get(symbol, set())
+        if new_pairs == old_pairs:
+            return
+        for source, target in old_pairs - new_pairs:
+            self._graph.remove_edge(source, symbol, target)
+        for source, target in new_pairs - old_pairs:
+            self._graph.add_edge(source, symbol, target)
+        if new_pairs:
+            self._pairs[symbol] = new_pairs
+        else:
+            self._pairs.pop(symbol, None)
+        self._version += 1
+
+    def load(self, views, db: GraphDB, theory=None) -> None:
+        """Materialize every view of ``views`` over ``db`` into the store.
+
+        The warehouse-refresh path: each view extension is replaced by its
+        answer on the base database (``views`` is an
+        :class:`~repro.rpq.views.RPQViews`; ``theory`` is required when
+        the views use formulae).
+        """
+        for symbol, pairs in views.materialize(db, theory).items():
+            self.replace(symbol, pairs)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone change counter; equal versions imply equal contents."""
+        return self._version
+
+    @property
+    def graph(self) -> GraphDB:
+        """The live view graph (labels = view symbols).  Do not mutate."""
+        return self._graph
+
+    @property
+    def symbols(self) -> frozenset[Hashable]:
+        """View symbols with a non-empty extension."""
+        return frozenset(self._pairs)
+
+    @property
+    def num_tuples(self) -> int:
+        return sum(len(pairs) for pairs in self._pairs.values())
+
+    def extension(self, symbol: Hashable) -> frozenset[Pair]:
+        """The current extension of ``symbol`` (empty if unknown)."""
+        return frozenset(self._pairs.get(symbol, ()))
+
+    def snapshot(self) -> tuple[int, dict[Hashable, frozenset[Pair]]]:
+        """An immutable ``(version, extensions)`` copy of the store."""
+        return (
+            self._version,
+            {symbol: frozenset(pairs) for symbol, pairs in self._pairs.items()},
+        )
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedViewStore(views={len(self._pairs)}, "
+            f"tuples={self.num_tuples}, version={self._version})"
+        )

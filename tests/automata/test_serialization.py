@@ -6,6 +6,7 @@ import pytest
 
 from repro.automata.determinize import determinize
 from repro.automata.serialization import (
+    automaton_fingerprint,
     dfa_from_dict,
     dfa_to_dict,
     nfa_from_dict,
@@ -63,6 +64,49 @@ class TestDFADict:
     def test_payload_is_sorted_and_stable(self):
         dfa = determinize(to_nfa(parse("a+b")))
         assert dfa_to_dict(dfa) == dfa_to_dict(dfa)
+
+
+class TestFingerprint:
+    def test_same_spec_same_fingerprint(self):
+        # Thompson construction is deterministic, so re-parsing the same
+        # regex yields the same digest — the property the plan cache
+        # keys rely on across processes.
+        one = automaton_fingerprint(to_nfa(parse("a.(b+c)*")))
+        two = automaton_fingerprint(to_nfa(parse("a.(b+c)*")))
+        assert one == two
+        assert len(one) == 64  # sha256 hex
+
+    def test_structural_not_language_identity(self):
+        # a+b and b+a denote the same language but different structures.
+        assert automaton_fingerprint(to_nfa(parse("a+b"))) != automaton_fingerprint(
+            to_nfa(parse("b+a"))
+        )
+
+    def test_finals_and_initials_matter(self):
+        dfa = determinize(to_nfa(parse("a.b")))
+        flipped = dfa_from_dict(
+            {**dfa_to_dict(dfa), "finals": sorted(dfa.states - dfa.finals)}
+        )
+        assert automaton_fingerprint(dfa) != automaton_fingerprint(flipped)
+
+    def test_accepts_non_string_symbols(self):
+        from repro.rpq.formulas import TOP
+
+        from repro.regex.ast import star, sym
+
+        nfa = to_nfa(star(sym(TOP)))
+        assert len(automaton_fingerprint(nfa)) == 64
+
+    def test_dfa_and_nfa_forms_distinguished(self):
+        dfa = determinize(to_nfa(parse("a")))
+        assert automaton_fingerprint(dfa) != automaton_fingerprint(dfa.to_nfa())
+
+    def test_epsilon_distinct_from_symbol(self):
+        # The epsilon marker must not collide with a same-looking symbol.
+        with_eps = to_nfa(parse("a*"))
+        assert automaton_fingerprint(with_eps) != automaton_fingerprint(
+            with_eps.without_epsilon()
+        )
 
 
 class TestDot:

@@ -1,0 +1,59 @@
+"""Staleness check for docs/paper_map.md (and architecture.md).
+
+Every dotted ``repro.*`` name in the paper map must import, and every
+referenced ``tests/...`` / ``benchmarks/...`` file must exist — so the
+map cannot silently outlive a refactor.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+DOCS = ROOT / "docs"
+
+_MODULE = re.compile(r"`(repro(?:\.\w+)+)`")
+_FILE = re.compile(r"`((?:tests|benchmarks|docs|examples)/[\w/.-]+\.\w+)`")
+
+
+def _page(name: str) -> str:
+    return (DOCS / name).read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("page", ["paper_map.md", "architecture.md"])
+def test_referenced_modules_import(page):
+    names = sorted(set(_MODULE.findall(_page(page))))
+    assert names, f"{page} names no repro modules?"
+    for name in names:
+        module_name, _, attr = name.rpartition(".")
+        try:
+            importlib.import_module(name)
+            continue
+        except ModuleNotFoundError:
+            pass
+        # Not a module: must be an attribute of its parent module.
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), f"{page}: stale reference {name}"
+
+
+@pytest.mark.parametrize("page", ["paper_map.md", "architecture.md"])
+def test_referenced_files_exist(page):
+    paths = sorted(set(_FILE.findall(_page(page))))
+    for path in paths:
+        assert (ROOT / path).exists(), f"{page}: stale file reference {path}"
+
+
+def test_paper_map_covers_all_rpq_and_service_modules():
+    """Every non-private module of rpq/ and service/ appears in the map."""
+    text = _page("paper_map.md") + _page("architecture.md")
+    for package in ("rpq", "service"):
+        for module in (ROOT / "src" / "repro" / package).glob("*.py"):
+            if module.stem.startswith("_"):
+                continue
+            assert f"repro.{package}.{module.stem}" in text, (
+                f"docs never mention repro.{package}.{module.stem}"
+            )

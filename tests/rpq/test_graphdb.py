@@ -60,6 +60,45 @@ class TestBasics:
         assert db.has_path("lonely", [])
 
 
+class TestRemoveEdge:
+    def test_remove_present_edge(self):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        assert db.remove_edge("x", "a", "y")
+        assert db.num_edges == 1
+        assert db.successors("x", "a") == frozenset()
+        assert ("x", "a", "y") not in db.to_triples()
+
+    def test_remove_is_idempotent(self):
+        db = GraphDB([("x", "a", "y")])
+        assert db.remove_edge("x", "a", "y")
+        assert not db.remove_edge("x", "a", "y")
+        assert not db.remove_edge("x", "a", "unknown")
+        assert not db.remove_edge("x", "zzz", "y")
+        assert db.num_edges == 0
+
+    def test_nodes_and_ids_survive_removal(self):
+        db = GraphDB([("x", "a", "y")])
+        x_id, y_id = db.node_id("x"), db.node_id("y")
+        db.remove_edge("x", "a", "y")
+        assert db.nodes == frozenset({"x", "y"})
+        assert db.node_id("x") == x_id and db.node_id("y") == y_id
+
+    def test_reverse_index_is_cleaned(self):
+        db = GraphDB([("x", "a", "y"), ("w", "a", "y")])
+        db.remove_edge("x", "a", "y")
+        assert db.predecessors_bulk({db.node_id("y")}, "a") == {db.node_id("w")}
+        db.remove_edge("w", "a", "y")
+        assert db.predecessors_bulk({db.node_id("y")}, "a") == set()
+        assert "a" not in db.domain()
+
+    def test_add_after_remove(self):
+        db = GraphDB([("x", "a", "y")])
+        db.remove_edge("x", "a", "y")
+        db.add_edge("x", "a", "y")
+        assert db.num_edges == 1
+        assert db.successors("x", "a") == frozenset({"y"})
+
+
 class TestTripleRoundTrip:
     def test_from_triples_to_triples_round_trip(self):
         triples = {("x", "a", "y"), ("y", "b", "z"), ("z", "a", "x")}

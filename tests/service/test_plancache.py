@@ -1,0 +1,167 @@
+"""RewritePlanCache: canonical keys, disk persistence, no rebuilding."""
+
+import json
+
+import pytest
+
+from repro.rpq import Pred, RPQViews, Theory, rewrite_rpq
+from repro.service import (
+    RewritePlanCache,
+    plan_from_dict,
+    plan_key,
+    plan_to_dict,
+)
+
+
+@pytest.fixture
+def theory():
+    return Theory.trivial({"a", "b", "c"})
+
+
+@pytest.fixture
+def views():
+    return RPQViews({"q1": "a", "q2": "b", "q3": "c"})
+
+
+class TestPlanKey:
+    def test_deterministic_across_equal_inputs(self, theory, views):
+        other_views = RPQViews({"q1": "a", "q2": "b", "q3": "c"})
+        other_theory = Theory.trivial({"c", "b", "a"})
+        assert plan_key("a.b", views, theory) == plan_key(
+            "a.b", other_views, other_theory
+        )
+
+    def test_distinguishes_every_input(self, theory, views):
+        base = plan_key("a.b", views, theory)
+        assert plan_key("a.c", views, theory) != base
+        assert plan_key("a.b", RPQViews({"q1": "a", "q2": "b"}), theory) != base
+        assert (
+            plan_key("a.b", views, Theory({"a", "b", "c"}, {"P": {"a"}})) != base
+        )
+        assert plan_key("a.b", views, theory, strategy="ground") != base
+        assert plan_key("a.b", views, theory, partition=True) != base
+
+    def test_view_symbol_renaming_changes_key(self, theory, views):
+        renamed = RPQViews({"r1": "a", "r2": "b", "r3": "c"})
+        assert plan_key("a.b", views, theory) != plan_key("a.b", renamed, theory)
+
+
+class TestSerialization:
+    def test_plan_round_trips_through_dict(self, theory, views):
+        result = rewrite_rpq("a.(b+c)*", views, theory)
+        clone = plan_from_dict(json.loads(json.dumps(plan_to_dict(result))))
+        assert clone.automaton.states == result.automaton.states
+        assert clone.automaton.accepts(["q1", "q2", "q3"]) == result.automaton.accepts(
+            ["q1", "q2", "q3"]
+        )
+        assert clone.is_exact() == result.is_exact()
+        extensions = {"q1": [("x", "y")], "q2": [("y", "z")], "q3": []}
+        from repro.rpq import answer_with_views
+
+        assert answer_with_views(clone, extensions) == answer_with_views(
+            result, extensions
+        )
+
+    def test_formula_views_are_rejected_by_dict_form(self):
+        from repro.regex.ast import sym
+
+        theory = Theory({"a", "b"}, {"P": {"a"}})
+        views = RPQViews({"q1": sym(Pred("P")), "q2": "b"})
+        result = rewrite_rpq("a.b", views, theory)
+        with pytest.raises(TypeError):
+            plan_to_dict(result)
+
+
+class TestCache:
+    def test_memory_hit_after_build(self, tmp_path, theory, views):
+        cache = RewritePlanCache(tmp_path / "plans")
+        first = cache.get_or_build("a.b", views, theory)
+        second = cache.get_or_build("a.b", views, theory)
+        assert first is second
+        assert cache.stats["built"] == 1
+        assert cache.stats["hits"] == 1
+        assert cache.stats["saved"] == 1
+        assert len(cache) == 1
+
+    def test_disk_reload_skips_building(self, tmp_path, theory, views):
+        plan_dir = tmp_path / "plans"
+        RewritePlanCache(plan_dir).get_or_build("a.(b+c)*", views, theory)
+
+        reloaded = RewritePlanCache(plan_dir)
+
+        def forbid(*args, **kwargs):
+            raise AssertionError("must not rebuild")
+
+        reloaded._builder = forbid
+        plan = reloaded.get_or_build("a.(b+c)*", views, theory)
+        assert reloaded.stats == {
+            "hits": 0,
+            "loaded": 1,
+            "built": 0,
+            "saved": 0,
+            "unserializable": 0,
+            "load_errors": 0,
+        }
+        assert plan.is_exact()
+
+    def test_corrupt_plan_file_is_rebuilt_not_fatal(self, tmp_path, theory, views):
+        plan_dir = tmp_path / "plans"
+        cache = RewritePlanCache(plan_dir)
+        cache.get_or_build("a.b", views, theory)
+        (plan_file,) = plan_dir.glob("*.json")
+
+        for bad in ('{"format": 999}', "{truncated", ""):
+            plan_file.write_text(bad)
+            fresh = RewritePlanCache(plan_dir)
+            plan = fresh.get_or_build("a.b", views, theory)
+            assert plan.is_exact()
+            assert fresh.stats["load_errors"] == 1
+            assert fresh.stats["built"] == 1
+            # The rebuild overwrote the bad file: next process loads fine.
+            after = RewritePlanCache(plan_dir)
+            after.get_or_build("a.b", views, theory)
+            assert after.stats["loaded"] == 1
+
+    def test_get_never_builds(self, tmp_path, theory, views):
+        cache = RewritePlanCache(tmp_path / "plans")
+        assert cache.get("a.b", views, theory) is None
+        assert cache.stats["built"] == 0
+
+    def test_memory_only_without_directory(self, theory, views):
+        cache = RewritePlanCache()
+        cache.get_or_build("a.b", views, theory)
+        assert cache.stats == {
+            "hits": 0,
+            "loaded": 0,
+            "built": 1,
+            "saved": 0,
+            "unserializable": 0,
+            "load_errors": 0,
+        }
+
+    def test_formula_plans_fall_back_to_memory(self, tmp_path):
+        theory = Theory({"a", "b"}, {"P": {"a", "b"}})
+        views = RPQViews({"q1": "a", "q2": "b"})
+        cache = RewritePlanCache(tmp_path / "plans")
+        # A formula query makes Ad range over non-string-only alphabets?
+        # No — Ad is over D (strings here).  Use a non-string *view
+        # symbol* instead, which is genuinely unserializable.
+        odd_views = RPQViews({("q", 1): "a"})
+        cache.get_or_build("a", odd_views, theory)
+        assert cache.stats["built"] == 1
+        assert cache.stats["unserializable"] == 1
+        assert cache.stats["saved"] == 0
+        # Still served from memory afterwards.
+        cache.get_or_build("a", odd_views, theory)
+        assert cache.stats["hits"] == 1
+
+    def test_strategy_validated(self):
+        with pytest.raises(ValueError):
+            RewritePlanCache(strategy="zigzag")
+
+    def test_warm_builds_all(self, tmp_path, theory, views):
+        cache = RewritePlanCache(tmp_path / "plans")
+        plans = cache.warm(["a.b", "b.c", "a.b"], views, theory)
+        assert len(plans) == 3
+        assert plans[0] is plans[2]
+        assert cache.stats["built"] == 2

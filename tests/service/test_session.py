@@ -1,0 +1,109 @@
+"""QuerySession: plan reuse, invalidation contract, request shapes."""
+
+import pytest
+
+from repro.rpq import RPQViews, Theory, answer_with_views, rewrite_rpq
+from repro.service import MaterializedViewStore, QuerySession, RewritePlanCache
+
+
+@pytest.fixture
+def theory():
+    return Theory.trivial({"a", "b"})
+
+
+@pytest.fixture
+def views():
+    return RPQViews({"q1": "a", "q2": "b"})
+
+
+@pytest.fixture
+def store():
+    return MaterializedViewStore(
+        {"q1": [("u", "v"), ("w", "v")], "q2": [("v", "z")]}
+    )
+
+
+@pytest.fixture
+def session(store, views, theory):
+    return QuerySession(store, views, theory)
+
+
+class TestAnswering:
+    def test_all_pairs(self, session):
+        assert session.answer("a.b") == frozenset({("u", "z"), ("w", "z")})
+
+    def test_matches_one_shot_helper(self, session, store, views, theory):
+        result = rewrite_rpq("a*", views, theory)
+        _, extensions = store.snapshot()
+        assert session.answer("a*") == answer_with_views(result, extensions)
+
+    def test_single_source(self, session):
+        assert session.answer_from("a.b", "u") == frozenset({"z"})
+        assert session.answer_from("a.b", "z") == frozenset()
+
+    def test_single_source_unknown_node_is_empty(self, session):
+        assert session.answer_from("a.b", "nope") == frozenset()
+
+    def test_single_pair(self, session):
+        assert session.answer_pair("a.b", "u", "z")
+        assert not session.answer_pair("a.b", "u", "v")
+        assert not session.answer_pair("a.b", "nope", "z")
+
+    def test_answer_many_order(self, session):
+        results = session.answer_many(["a.b", "a"])
+        assert results[0] == frozenset({("u", "z"), ("w", "z")})
+        assert results[1] == frozenset({("u", "v"), ("w", "v")})
+
+    def test_views_as_plain_mapping(self, store, theory):
+        session = QuerySession(store, {"q1": "a", "q2": "b"}, theory)
+        assert session.answer_pair("a.b", "u", "z")
+
+
+class TestCaching:
+    def test_answer_memo_within_a_version(self, session):
+        session.answer("a.b")
+        session.answer("a.b")
+        assert session.stats["answer_memo_hits"] == 1
+
+    def test_data_change_invalidates_answers_not_plans(self, session, store):
+        plans = session.plans
+        first = session.answer("a.b")
+        store.add("q2", "v", "z2")
+        second = session.answer("a.b")
+        assert second == first | {("u", "z2"), ("w", "z2")}
+        assert session.stats["invalidations"] == 1
+        assert plans.stats["built"] == 1  # the plan survived the update
+
+    def test_plan_built_once_across_request_shapes(self, session):
+        session.answer("a.b")
+        session.answer_from("a.b", "u")
+        session.answer_pair("a.b", "u", "z")
+        assert session.plans.stats["built"] == 1
+
+    def test_shared_plan_cache_across_sessions(self, store, views, theory):
+        plans = RewritePlanCache()
+        one = QuerySession(store, views, theory, plans=plans)
+        two = QuerySession(store, views, theory, plans=plans)
+        one.answer("a.b")
+        two.answer("a.b")
+        assert plans.stats["built"] == 1
+        assert plans.stats["hits"] >= 1
+
+    def test_warm_prebuilds(self, session):
+        session.warm(["a.b", "a", "b"])
+        assert session.plans.stats["built"] == 3
+        session.answer("a.b")
+        assert session.plans.stats["built"] == 3
+
+
+class TestPlans:
+    def test_plan_and_exactness(self, session):
+        assert session.is_exact("a.b")
+        plan = session.plan("a.b")
+        assert plan.accepts(["q1", "q2"])
+
+    def test_incomplete_views_still_sound(self, store, theory):
+        session = QuerySession(store, {"q1": "a"}, theory)
+        assert not session.is_exact("a+b")
+        # Only the view-expressible half of the union is answerable.
+        assert session.answer("a+b") == frozenset({("u", "v"), ("w", "v")})

@@ -1,0 +1,110 @@
+"""MaterializedViewStore: incremental updates, versioning, view graph."""
+
+import pytest
+
+from repro.rpq import GraphDB, RPQViews, Theory
+from repro.service import MaterializedViewStore, answer_on_extensions
+
+
+@pytest.fixture
+def store():
+    return MaterializedViewStore(
+        {"q1": [("u", "v"), ("w", "v")], "q2": [("v", "z")]}
+    )
+
+
+class TestMutation:
+    def test_add_is_idempotent_and_versioned(self, store):
+        v0 = store.version
+        assert store.add("q1", "x", "y")
+        assert store.version == v0 + 1
+        assert not store.add("q1", "x", "y")  # duplicate: no-op
+        assert store.version == v0 + 1
+
+    def test_remove(self, store):
+        v0 = store.version
+        assert store.remove("q1", "u", "v")
+        assert ("u", "v") not in store.extension("q1")
+        assert store.version == v0 + 1
+        assert not store.remove("q1", "u", "v")
+        assert not store.remove("zzz", "u", "v")
+        assert store.version == v0 + 1
+
+    def test_bulk_add_bumps_version_once(self, store):
+        v0 = store.version
+        added = store.add_many("q2", [("a1", "a2"), ("a2", "a3"), ("v", "z")])
+        assert added == 2  # ("v","z") already present
+        assert store.version == v0 + 1
+        assert store.add_many("q2", [("a1", "a2")]) == 0
+        assert store.version == v0 + 1
+
+    def test_bulk_remove(self, store):
+        v0 = store.version
+        removed = store.remove_many("q1", [("u", "v"), ("nope", "nope")])
+        assert removed == 1
+        assert store.version == v0 + 1
+
+    def test_replace_is_a_view_refresh(self, store):
+        store.replace("q1", [("a", "b")])
+        assert store.extension("q1") == {("a", "b")}
+        assert store.graph.successors("u", "q1") == frozenset()
+        version = store.version
+        store.replace("q1", [("a", "b")])  # no change: version stable
+        assert store.version == version
+
+    def test_graph_mirrors_extensions(self, store):
+        store.add("q1", "v", "w")
+        store.remove("q2", "v", "z")
+        triples = store.graph.to_triples()
+        assert ("v", "q1", "w") in triples
+        assert ("v", "q2", "z") not in triples
+        assert store.graph.num_edges == store.num_tuples
+
+    def test_removed_nodes_stay_in_the_universe(self, store):
+        # Node interning is append-only (documented): removing a node's
+        # last tuple keeps it a node of the view graph.
+        store.remove("q2", "v", "z")
+        assert "z" in store.graph.nodes
+
+    def test_load_materializes_views(self):
+        theory = Theory.trivial({"a", "b"})
+        views = RPQViews({"q1": "a", "q2": "b"})
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        store = MaterializedViewStore()
+        store.load(views, db, theory)
+        assert store.extension("q1") == {("x", "y")}
+        assert store.extension("q2") == {("y", "z")}
+
+
+class TestReads:
+    def test_snapshot(self, store):
+        version, extensions = store.snapshot()
+        assert version == store.version
+        assert extensions == {
+            "q1": frozenset({("u", "v"), ("w", "v")}),
+            "q2": frozenset({("v", "z")}),
+        }
+        store.add("q1", "x", "y")
+        assert extensions["q1"] == {("u", "v"), ("w", "v")}  # copy, not live
+
+    def test_symbols_and_contains(self, store):
+        assert store.symbols == {"q1", "q2"}
+        assert "q1" in store and "zzz" not in store
+        store.remove("q2", "v", "z")
+        assert "q2" not in store
+
+    def test_repr_mentions_counts(self, store):
+        assert "tuples=3" in repr(store)
+
+
+class TestSharedHelper:
+    def test_answer_on_extensions_matches_result_answer(self):
+        theory = Theory.trivial({"a", "b"})
+        views = RPQViews({"q1": "a", "q2": "b"})
+        from repro.rpq import rewrite_rpq
+
+        result = rewrite_rpq("a.b", views, theory)
+        extensions = {"q1": [("u", "v")], "q2": [("v", "z")]}
+        direct = answer_on_extensions(result.automaton, extensions)
+        assert direct == frozenset({("u", "z")})
+        assert direct == result.answer(db=GraphDB(), extensions=extensions)

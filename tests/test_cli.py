@@ -172,6 +172,117 @@ class TestEval:
         assert "no answer" in capsys.readouterr().out
 
 
+class TestAnswer:
+    @pytest.fixture
+    def tuples(self, tmp_path):
+        path = tmp_path / "tuples.tsv"
+        path.write_text("q1\tu\tv\nq1\tw\tv\nq2\tv\tz\n")
+        return str(path)
+
+    def test_all_pairs_from_extensions(self, tuples, capsys):
+        code = main(
+            [
+                "answer",
+                "--query", "a.b",
+                "--view", "q1=a",
+                "--view", "q2=b",
+                "--extensions", tuples,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact: True" in out
+        assert "u\tz" in out and "w\tz" in out
+
+    def test_single_source_and_pair_modes(self, tuples, capsys):
+        main(
+            [
+                "answer",
+                "--query", "a.b",
+                "--view", "q1=a",
+                "--view", "q2=b",
+                "--extensions", tuples,
+                "--source", "u",
+            ]
+        )
+        assert "u\tz" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "answer",
+                    "--query", "a.b",
+                    "--view", "q1=a",
+                    "--view", "q2=b",
+                    "--extensions", tuples,
+                    "--pair", "u", "v",
+                ]
+            )
+            == 1
+        )
+        assert "no answer" in capsys.readouterr().out
+
+    def test_plan_cache_persists_between_invocations(
+        self, tuples, tmp_path, capsys
+    ):
+        plan_dir = tmp_path / "plans"
+        args = [
+            "answer",
+            "--query", "a.b",
+            "--view", "q1=a",
+            "--view", "q2=b",
+            "--extensions", tuples,
+            "--plan-cache", str(plan_dir),
+        ]
+        assert main(args) == 0
+        saved = list(plan_dir.glob("*.json"))
+        assert len(saved) == 1
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run loads the saved plan
+        assert capsys.readouterr().out == first
+
+    def test_unknown_view_in_extensions_rejected(self, tmp_path):
+        path = tmp_path / "tuples.tsv"
+        path.write_text("zzz\tu\tv\n")
+        with pytest.raises(SystemExit, match="undefined views"):
+            main(
+                [
+                    "answer",
+                    "--query", "a",
+                    "--view", "q1=a",
+                    "--extensions", str(path),
+                ]
+            )
+
+    def test_malformed_extension_line_rejected(self, tmp_path):
+        path = tmp_path / "tuples.tsv"
+        path.write_text("q1\tonly-two-fields\n")
+        with pytest.raises(SystemExit, match="3 tab-separated"):
+            main(
+                [
+                    "answer",
+                    "--query", "a",
+                    "--view", "q1=a",
+                    "--extensions", str(path),
+                ]
+            )
+
+
+class TestServeBench:
+    def test_tiny_run_reports_speedups(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--nodes", "40",
+                "--edges", "120",
+                "--queries", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold rewrite+evaluate loop" in out
+        assert "steady state" in out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
