@@ -23,6 +23,12 @@ Examples::
     python -m repro answer --query 'a.b' --view q1=a --view q2=b \
         --extensions tuples.tsv --plan-cache .plans   # view-based answering
 
+    python -m repro answer --query 'a.b' --view q1=a --view q2=b \
+        --extensions tuples.tsv --shards 8 --workers 4   # sharded evaluation
+
+    python -m repro workload --family grid --seed 7 --edges 2000 \
+        --graph-out grid.tsv --num-queries 5 --queries-out queries.txt
+
     python -m repro serve-bench --nodes 300           # warm vs cold serving
 
 ``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line;
@@ -161,6 +167,66 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         metavar=("SOURCE", "TARGET"),
         help="decide one pair (exit code 0 if it is an answer, 1 if not)",
+    )
+    answer.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="partition the view graph into K node-range shards and run "
+        "the sharded evaluator (answers are identical to the default "
+        "engine; needs K >= 2 to take effect)",
+    )
+    answer.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="evaluate up to W shards in parallel worker processes "
+        "(default 1: the sequential per-shard fallback)",
+    )
+
+    workload = sub.add_parser(
+        "workload",
+        help="generate a seeded workload graph (plus query mix) from a "
+        "named family; the TSV output feeds `repro eval --graph` and the "
+        "query list feeds `repro rewrite --batch`",
+    )
+    workload.add_argument(
+        "--family",
+        required=True,
+        help="graph family: chain, grid, scale_free, or layered_dag",
+    )
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument(
+        "--edges",
+        type=int,
+        default=1000,
+        help="minimum edge count of the generated graph (default 1000)",
+    )
+    workload.add_argument(
+        "--graph-out",
+        default="-",
+        metavar="FILE",
+        help="write source<TAB>label<TAB>target triples here ('-' = stdout)",
+    )
+    workload.add_argument(
+        "--num-queries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also emit a seeded N-query mix for the family",
+    )
+    workload.add_argument(
+        "--queries-out",
+        metavar="FILE",
+        help="where to write the query mix (default: stdout, after the "
+        "graph, as '# query:' comment lines)",
+    )
+    workload.add_argument(
+        "--signature",
+        action="store_true",
+        help="print the graph's canonical sha256 signature to stderr "
+        "(equal signatures == byte-identical graphs)",
     )
 
     serve_bench = sub.add_parser(
@@ -377,31 +443,99 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     store = MaterializedViewStore(extensions)
     plans = RewritePlanCache(args.plan_cache)
 
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+
     exit_code = 0
     for query in args.query:
         domain = views_alphabet | set(RPQ(query).alphabet())
         if not domain:
             raise SystemExit(f"query {query!r} and views mention no symbols")
-        session = QuerySession(store, views, Theory.trivial(domain), plans=plans)
-        plan = session.plan(query)
-        print(f"query: {query}")
-        print("  exact:", plan.is_exact())
-        if args.pair is not None:
-            source, target = args.pair
-            found = session.answer_pair(query, source, target)
-            print("  answer" if found else "  no answer")
-            exit_code = max(exit_code, 0 if found else 1)
-            continue
-        if args.source is not None:
-            answers = sorted(
-                (args.source, y) for y in session.answer_from(query, args.source)
-            )
-        else:
-            answers = sorted(session.answer(query))
-        for x, y in answers:
-            print(f"  {x}\t{y}")
-        print(f"  # {len(answers)} answers", file=sys.stderr)
+        with QuerySession(
+            store,
+            views,
+            Theory.trivial(domain),
+            plans=plans,
+            parallelism=args.shards,
+            workers=args.workers,
+        ) as session:
+            plan = session.plan(query)
+            print(f"query: {query}")
+            print("  exact:", plan.is_exact())
+            if args.pair is not None:
+                source, target = args.pair
+                found = session.answer_pair(query, source, target)
+                print("  answer" if found else "  no answer")
+                exit_code = max(exit_code, 0 if found else 1)
+                continue
+            if args.source is not None:
+                answers = sorted(
+                    (args.source, y)
+                    for y in session.answer_from(query, args.source)
+                )
+            else:
+                answers = sorted(session.answer(query))
+            for x, y in answers:
+                print(f"  {x}\t{y}")
+            print(f"  # {len(answers)} answers", file=sys.stderr)
     return exit_code
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .rpq.workload import (
+        FAMILIES,
+        graph_signature,
+        graph_triples,
+        make_graph,
+        make_queries,
+    )
+
+    if args.family not in FAMILIES:
+        raise SystemExit(
+            f"unknown --family {args.family!r}; choose one of "
+            f"{', '.join(FAMILIES)}"
+        )
+    if args.edges < 1:
+        raise SystemExit(f"--edges must be >= 1, got {args.edges}")
+    if args.queries_out and args.num_queries < 1:
+        raise SystemExit(
+            "--queries-out needs --num-queries >= 1 (nothing to write)"
+        )
+    db = make_graph(args.family, args.seed, edges=args.edges)
+    queries = (
+        make_queries(args.family, args.seed, count=args.num_queries)
+        if args.num_queries > 0
+        else ()
+    )
+
+    if args.graph_out == "-":
+        handle = sys.stdout
+    else:
+        handle = open(args.graph_out, "w", encoding="utf-8")
+    try:
+        for source, label, target in graph_triples(db):
+            handle.write(f"{source}\t{label}\t{target}\n")
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+
+    if queries:
+        if args.queries_out:
+            with open(args.queries_out, "w", encoding="utf-8") as qhandle:
+                qhandle.writelines(f"{query}\n" for query in queries)
+        else:
+            for query in queries:
+                print(f"# query: {query}")
+    if args.signature:
+        print(f"# signature: {graph_signature(db)}", file=sys.stderr)
+    print(
+        f"# {args.family} seed={args.seed}: {db.num_nodes} nodes, "
+        f"{db.num_edges} edges, {len(queries)} queries",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -426,6 +560,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "eval": _cmd_eval,
         "answer": _cmd_answer,
+        "workload": _cmd_workload,
         "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)

@@ -14,7 +14,14 @@ view-based rewriting/answering:
   theory T over the domain D;
 * :func:`rewrite_rpq` — the Section 4.2 rewriting algorithm (Theorem 4.2),
   with the grounding-free product optimization and constant partitioning;
-* :func:`find_partial_rpq_rewritings` — Section 4.3 partial rewritings.
+* :func:`find_partial_rpq_rewritings` — Section 4.3 partial rewritings;
+* :class:`ShardedGraphDB` / :class:`ParallelEvaluator` — the scale-out
+  layer (:mod:`repro.rpq.sharded`): node-range graph shards with explicit
+  cut-edge frontiers and an exact shard-parallel all-pairs sweep;
+* :func:`make_workload` and friends (:mod:`repro.rpq.workload`) — seeded
+  graph families (chain, grid, scale-free, layered DAG) with matching
+  query/view mixes, shared by benchmarks and the differential fuzz
+  harness.
 
 For serving many queries over evolving view extensions — materialized
 view storage, persistent rewrite-plan caching, per-session evaluation
@@ -34,11 +41,14 @@ from .engine import (
 )
 from .evaluation import (
     ans,
+    ans_sorted,
     evaluate,
     evaluate_from,
     evaluate_pair,
+    evaluate_sorted,
     naive_ans,
     naive_evaluate,
+    sort_pairs,
 )
 from .formulas import TOP, And, Const, Formula, Not, Or, Pred, Top
 from .generalized import (
@@ -55,8 +65,18 @@ from .partial import (
 )
 from .query import RPQ
 from .rewriting import STRATEGIES, RPQRewritingResult, rewrite_rpq
+from .sharded import ParallelEvaluator, ShardedEvaluationError, ShardedGraphDB
 from .theory import Theory
 from .views import RPQViews, view_graph
+from .workload import (
+    FAMILIES,
+    Workload,
+    graph_signature,
+    make_graph,
+    make_queries,
+    make_views,
+    make_workload,
+)
 
 __all__ = [
     "GraphDB",
@@ -68,11 +88,24 @@ __all__ = [
     "rewrite_gpq",
     "RPQ",
     "evaluate",
+    "evaluate_sorted",
     "evaluate_from",
     "evaluate_pair",
     "ans",
+    "ans_sorted",
+    "sort_pairs",
     "naive_evaluate",
     "naive_ans",
+    "ParallelEvaluator",
+    "ShardedGraphDB",
+    "ShardedEvaluationError",
+    "FAMILIES",
+    "Workload",
+    "make_graph",
+    "make_queries",
+    "make_views",
+    "make_workload",
+    "graph_signature",
     "CompiledAutomaton",
     "compile_automaton",
     "compile_cache_info",

@@ -54,6 +54,7 @@ __all__ = [
     "compile_cache_info",
     "compile_cache_clear",
     "evaluate_all",
+    "evaluate_all_sorted",
     "evaluate_single_source",
     "evaluate_pair",
 ]
@@ -222,10 +223,47 @@ def evaluate_all(db: GraphDB, compiled: CompiledAutomaton) -> frozenset[Pair]:
     bitmasks — union, difference, and emptiness checks on whole source
     sets are then single C-level big-int operations, which is what lets
     one sweep genuinely outrun |V| independent BFS runs.
+
+    See :func:`evaluate_all_sorted` for the deterministically ordered
+    variant of the same answer set.
     """
+    node_at = db.node_at
+    return frozenset(
+        (node_at(source_id), node_at(target_id))
+        for source_id, target_id in _all_pairs_ids(db, compiled)
+    )
+
+
+def evaluate_all_sorted(
+    db: GraphDB, compiled: CompiledAutomaton
+) -> list[Pair]:
+    """All answer pairs, sorted by ``(node_id(x), node_id(y))``.
+
+    **Ordering guarantee:** the sort key is the database's dense node id
+    — its *interning order* — never the nodes' own comparison or hash
+    order.  The resulting list is therefore identical across processes
+    (no ``PYTHONHASHSEED`` dependence), across shard and worker counts
+    (:class:`repro.rpq.sharded.ParallelEvaluator` honours the same
+    contract), and for the naive oracle once its answers are sorted with
+    the same key — which is what lets differential harnesses compare
+    whole lists byte for byte instead of set-compare only.
+    """
+    id_pairs = _all_pairs_ids(db, compiled)
+    id_pairs.sort()
+    node_at = db.node_at
+    return [
+        (node_at(source_id), node_at(target_id))
+        for source_id, target_id in id_pairs
+    ]
+
+
+def _all_pairs_ids(
+    db: GraphDB, compiled: CompiledAutomaton
+) -> list[tuple[int, int]]:
+    """The all-pairs sweep, decoded to dense-id pairs (unordered)."""
     num_nodes = db.num_nodes
     if num_nodes == 0 or not compiled.initials:
-        return frozenset()
+        return []
     finals = compiled.finals
     bits = [1 << v for v in range(num_nodes)]
     # reached[state][node_id] = bitmask of source ids reaching (state, node)
@@ -295,17 +333,13 @@ def evaluate_all(db: GraphDB, compiled: CompiledAutomaton) -> frozenset[Pair]:
             state: bucket for state, bucket in next_frontier.items() if bucket
         }
 
-    node_at = db.node_at
-    answers = []
+    id_pairs: list[tuple[int, int]] = []
     for target_id, mask in enumerate(answer_masks):
-        if not mask:
-            continue
-        target = node_at(target_id)
         while mask:
             low_bit = mask & -mask
-            answers.append((node_at(low_bit.bit_length() - 1), target))
+            id_pairs.append((low_bit.bit_length() - 1, target_id))
             mask ^= low_bit
-    return frozenset(answers)
+    return id_pairs
 
 
 def evaluate_single_source(

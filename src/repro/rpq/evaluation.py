@@ -34,11 +34,14 @@ from .theory import Theory
 
 __all__ = [
     "evaluate",
+    "evaluate_sorted",
     "ans",
+    "ans_sorted",
     "evaluate_from",
     "evaluate_pair",
     "naive_evaluate",
     "naive_ans",
+    "sort_pairs",
 ]
 
 Automaton = Union[NFA, DFA]
@@ -64,6 +67,18 @@ def evaluate(
     return _engine.evaluate_all(db, _compiled_for(db, query, theory))
 
 
+def evaluate_sorted(
+    db: GraphDB, query: QuerySpec, theory: Theory | None = None
+) -> list[Pair]:
+    """:func:`evaluate` with the deterministic ordering guarantee.
+
+    Answers are sorted by ``(node_id(x), node_id(y))`` — the database's
+    interning order — which is identical across processes, shard counts,
+    and worker counts (see :func:`repro.rpq.engine.evaluate_all_sorted`).
+    """
+    return _engine.evaluate_all_sorted(db, _compiled_for(db, query, theory))
+
+
 def ans(language: Automaton, db: GraphDB) -> frozenset[Pair]:
     """The paper's ``ans(alpha, DB)`` for a regular language over D.
 
@@ -71,11 +86,33 @@ def ans(language: Automaton, db: GraphDB) -> frozenset[Pair]:
     is exactly how rewritings — languages over the view alphabet — are
     evaluated on view graphs.
     """
+    return frozenset(ans_sorted(language, db))
+
+
+def ans_sorted(language: Automaton, db: GraphDB) -> list[Pair]:
+    """:func:`ans` as a deterministically ordered list.
+
+    Same answer set as :func:`ans`, sorted by
+    ``(node_id(x), node_id(y))`` — stable across processes and across
+    the shard/worker counts of the parallel evaluator, so differential
+    asserts can compare whole lists instead of sets.
+    """
     nfa = language.to_nfa() if isinstance(language, DFA) else language
     compiled = _engine.compile_automaton(
         nfa, None, db.domain(), plain_symbols=True
     )
-    return _engine.evaluate_all(db, compiled)
+    return _engine.evaluate_all_sorted(db, compiled)
+
+
+def sort_pairs(db: GraphDB, pairs: "frozenset[Pair] | set[Pair]") -> list[Pair]:
+    """Sort an answer set into the canonical ``(node_id, node_id)`` order.
+
+    The bridge for oracles that produce plain sets (``naive_evaluate``,
+    ``naive_ans``): sorting their answers with this key yields exactly
+    the list the engine's ``*_sorted`` entry points return.
+    """
+    node_id = db.node_id
+    return sorted(pairs, key=lambda pair: (node_id(pair[0]), node_id(pair[1])))
 
 
 def evaluate_from(

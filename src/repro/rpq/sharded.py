@@ -1,0 +1,686 @@
+"""Sharded, parallel RPQ evaluation (the scale-out layer over the engine).
+
+:mod:`repro.rpq.engine` answers all-pairs queries in one macro-frontier
+sweep whose source sets are packed into ``num_nodes``-bit integers.  That
+is the fastest *single* sweep this repo knows, but it leaves two axes on
+the table: multiple cores, and the width of those big-int masks.  This
+module adds both:
+
+* :class:`ShardedGraphDB` partitions a label-indexed
+  :class:`~repro.rpq.graphdb.GraphDB` into ``k`` contiguous node-range
+  shards.  Each shard owns its nodes and every edge *leaving* them; edges
+  whose target lives in another shard are kept apart as **cut edges**,
+  grouped by destination shard — the explicit frontier a distributed
+  implementation would ship over the wire.
+
+* :class:`ParallelEvaluator` decomposes the all-pairs product sweep **by
+  the shard owning the source node**: task ``i`` computes every answer
+  pair ``(x, y)`` whose ``x`` lies in shard ``i``'s id range.  Because
+  ranges are contiguous, task ``i``'s source sets pack into
+  ``(hi - lo)``-bit masks instead of ``num_nodes``-bit masks — big-int
+  work per product-edge crossing drops by a factor of ``k`` — and the
+  tasks share nothing, so they run unchanged in a process pool.  Within
+  a task the sweep walks the graph shard by shard: frontiers are kept
+  partitioned by owning shard, expansion through a shard uses its
+  internal adjacency, and deltas crossing a cut edge are *stitched* into
+  the destination shard's slice of the next frontier.
+
+Exactness and determinism are non-negotiable: for every shard count,
+worker count, and entry point, results are **bit-identical** to the
+single-shard engine (and to ``naive_evaluate``) — the pool path returns
+per-shard data merged in shard order, and the sequential fallback (used
+when ``workers <= 1`` or when process pools are unavailable in the host
+environment) runs the very same per-shard kernel in a plain loop.  The
+randomized differential harness in ``tests/rpq/test_sharded_differential``
+holds all three entry points to that contract on every workload family.
+
+Ordering guarantee: :meth:`ParallelEvaluator.evaluate_all_sorted` (like
+:func:`repro.rpq.engine.evaluate_all_sorted`) returns answers sorted by
+``(node_id(x), node_id(y))`` — the *interning order* of the database,
+which is independent of shard count, worker count, process, and
+``PYTHONHASHSEED`` — so differential tests compare lists, not just sets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Hashable, Iterable, Mapping
+
+from .engine import CompiledAutomaton
+from .graphdb import GraphDB
+
+__all__ = [
+    "ShardedGraphDB",
+    "ParallelEvaluator",
+    "ShardedEvaluationError",
+]
+
+Pair = tuple[Hashable, Hashable]
+
+
+class ShardedEvaluationError(RuntimeError):
+    """A shard worker failed mid-sweep.
+
+    Raised by :class:`ParallelEvaluator` after the pool has been shut
+    down (``cancel_futures=True``), so callers never inherit a hung or
+    half-broken pool.  :class:`~repro.service.session.QuerySession`
+    catches this and falls back to the sequential engine, keeping the
+    session usable.
+    """
+
+
+class _Shard:
+    """One node range plus the edges leaving it.
+
+    ``internal[label][source_id]`` is the set of targets *inside* this
+    shard; ``cut[label][source_id]`` is a tuple of
+    ``(destination_shard, targets)`` groups for edges leaving the shard
+    (grouped so the sweep can stitch a whole delta into the destination
+    shard's frontier without re-deriving ownership per edge).
+    """
+
+    __slots__ = (
+        "index",
+        "lo",
+        "hi",
+        "internal",
+        "cut",
+        "num_internal_edges",
+        "num_cut_edges",
+    )
+
+    def __init__(self, index: int, lo: int, hi: int):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.internal: dict[Hashable, dict[int, set[int]]] = {}
+        self.cut: dict[Hashable, dict[int, tuple[tuple[int, tuple[int, ...]], ...]]] = {}
+        self.num_internal_edges = 0
+        self.num_cut_edges = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.hi - self.lo
+
+    def __repr__(self) -> str:
+        return (
+            f"_Shard({self.index}, nodes=[{self.lo},{self.hi}), "
+            f"internal={self.num_internal_edges}, cut={self.num_cut_edges})"
+        )
+
+
+class ShardedGraphDB:
+    """A :class:`GraphDB` partitioned into ``k`` contiguous node ranges.
+
+    Shard ``i`` owns node ids in ``[bounds[i], bounds[i+1])`` and all
+    edges whose *source* it owns.  The partition copies the label-first
+    indexes into per-shard structures (the original database is not
+    mutated and is not referenced afterwards, so a ``ShardedGraphDB`` is
+    a self-contained, picklable snapshot — exactly what a worker process
+    needs).  With ``k > num_nodes`` some shards are empty; with ``k = 1``
+    there are no cut edges and the partition is the whole graph.
+    """
+
+    __slots__ = ("num_shards", "num_nodes", "bounds", "shards")
+
+    def __init__(self, db: GraphDB, num_shards: int):
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        num_nodes = db.num_nodes
+        self.num_shards = num_shards
+        self.num_nodes = num_nodes
+        self.bounds = [(i * num_nodes) // num_shards for i in range(num_shards + 1)]
+        bounds = self.bounds
+        shards = [
+            _Shard(i, bounds[i], bounds[i + 1]) for i in range(num_shards)
+        ]
+        self.shards = shards
+        owner = self.owner
+        for label in db.domain():
+            for source_id, targets in db.label_out_index(label).items():
+                shard = shards[owner(source_id)]
+                internal: set[int] = set()
+                crossing: dict[int, list[int]] = {}
+                for target_id in targets:
+                    dest = owner(target_id)
+                    if dest == shard.index:
+                        internal.add(target_id)
+                    else:
+                        crossing.setdefault(dest, []).append(target_id)
+                if internal:
+                    shard.internal.setdefault(label, {})[source_id] = internal
+                    shard.num_internal_edges += len(internal)
+                if crossing:
+                    shard.cut.setdefault(label, {})[source_id] = tuple(
+                        (dest, tuple(sorted(ids)))
+                        for dest, ids in sorted(crossing.items())
+                    )
+                    shard.num_cut_edges += sum(
+                        len(ids) for ids in crossing.values()
+                    )
+
+    def owner(self, node_id: int) -> int:
+        """The index of the shard owning ``node_id``."""
+        if not 0 <= node_id < self.num_nodes:
+            raise IndexError(f"node id {node_id} out of range")
+        return bisect_right(self.bounds, node_id) - 1
+
+    @property
+    def num_internal_edges(self) -> int:
+        return sum(shard.num_internal_edges for shard in self.shards)
+
+    @property
+    def num_cut_edges(self) -> int:
+        """How many edges cross a shard boundary under this partition."""
+        return sum(shard.num_cut_edges for shard in self.shards)
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_internal_edges + self.num_cut_edges
+
+    def shard_sizes(self) -> list[int]:
+        return [shard.num_nodes for shard in self.shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedGraphDB(shards={self.num_shards}, "
+            f"nodes={self.num_nodes}, internal={self.num_internal_edges}, "
+            f"cut={self.num_cut_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The per-shard sweep kernels (top-level functions: picklable pool tasks)
+# ----------------------------------------------------------------------
+
+
+def _hot_entries(adjacency, node_sources):
+    """Frontier-vs-adjacency intersection, scanning the smaller side."""
+    if not adjacency:
+        return ()
+    if len(adjacency) < len(node_sources):
+        return [
+            (adjacency[v], node_sources[v]) for v in adjacency if v in node_sources
+        ]
+    return [
+        (adjacency[v], sources)
+        for v, sources in node_sources.items()
+        if v in adjacency
+    ]
+
+
+def _sweep_shard(
+    sharded: ShardedGraphDB,
+    compiled: CompiledAutomaton,
+    shard_index: int,
+    fail_shards: frozenset[int] = frozenset(),
+) -> dict[int, int]:
+    """All-pairs product sweep for the sources owned by one shard.
+
+    Returns ``{target_id: mask}`` where bit ``s`` of ``mask`` set means
+    ``(node lo + s, target)`` is an answer — masks are re-based to the
+    shard's own range ``[lo, hi)``, which is where the factor-``k``
+    big-int saving over the monolithic sweep comes from.
+
+    ``fail_shards`` is fault injection for the crash-recovery tests: the
+    kernel raises before touching any state, as a crashing worker would.
+    """
+    if shard_index in fail_shards:
+        raise RuntimeError(
+            f"injected fault: worker died sweeping shard {shard_index}"
+        )
+    bounds = sharded.bounds
+    lo, hi = bounds[shard_index], bounds[shard_index + 1]
+    answers: dict[int, int] = {}
+    if compiled.accepts_epsilon:
+        for v in range(lo, hi):
+            answers[v] = 1 << (v - lo)
+    if lo == hi or not compiled.initials:
+        return answers
+    table = compiled.table
+    finals = compiled.finals
+    shards = sharded.shards
+    num_nodes = sharded.num_nodes
+    own = shards[shard_index]
+
+    # reached[state][node_id] = mask (over this shard's sources) known to
+    # reach the (state, node) product point; frontier slices are keyed by
+    # the shard owning their nodes.
+    reached: dict[int, list[int]] = {}
+    frontier: dict[int, dict[int, dict[int, int]]] = {}
+    for state in compiled.initials:
+        row = table.get(state)
+        if not row:
+            continue
+        seeds: set[int] = set()
+        for label in row:
+            internal = own.internal.get(label)
+            if internal:
+                seeds.update(internal)
+            cut = own.cut.get(label)
+            if cut:
+                seeds.update(cut)
+        if not seeds:
+            continue
+        state_reached = reached.get(state)
+        if state_reached is None:
+            state_reached = reached[state] = [0] * num_nodes
+        bucket: dict[int, int] = {}
+        for v in seeds:
+            bit = 1 << (v - lo)
+            state_reached[v] |= bit
+            bucket[v] = state_reached[v]
+        frontier[state] = {shard_index: bucket}
+
+    while frontier:
+        next_frontier: dict[int, dict[int, dict[int, int]]] = {}
+        for state, by_shard in frontier.items():
+            row = table.get(state)
+            if not row:
+                continue
+            for here, node_sources in by_shard.items():
+                shard = shards[here]
+                for label, next_states in row.items():
+                    hot = _hot_entries(shard.internal.get(label), node_sources)
+                    hot_cut = _hot_entries(shard.cut.get(label), node_sources)
+                    if not hot and not hot_cut:
+                        continue
+                    for next_state in next_states:
+                        state_reached = reached.get(next_state)
+                        if state_reached is None:
+                            state_reached = reached[next_state] = [0] * num_nodes
+                        by_dest = next_frontier.get(next_state)
+                        if by_dest is None:
+                            by_dest = next_frontier[next_state] = {}
+                        is_final = next_state in finals
+                        if hot:
+                            bucket = by_dest.get(here)
+                            if bucket is None:
+                                bucket = by_dest[here] = {}
+                            for targets, sources in hot:
+                                for w in targets:
+                                    delta = sources & ~state_reached[w]
+                                    if not delta:
+                                        continue
+                                    state_reached[w] |= delta
+                                    if w in bucket:
+                                        bucket[w] |= delta
+                                    else:
+                                        bucket[w] = delta
+                                    if is_final:
+                                        if w in answers:
+                                            answers[w] |= delta
+                                        else:
+                                            answers[w] = delta
+                        for groups, sources in hot_cut:
+                            # Stitch: each group lands in the destination
+                            # shard's slice of the next frontier.
+                            for dest, targets in groups:
+                                bucket = by_dest.get(dest)
+                                if bucket is None:
+                                    bucket = by_dest[dest] = {}
+                                for w in targets:
+                                    delta = sources & ~state_reached[w]
+                                    if not delta:
+                                        continue
+                                    state_reached[w] |= delta
+                                    if w in bucket:
+                                        bucket[w] |= delta
+                                    else:
+                                        bucket[w] = delta
+                                    if is_final:
+                                        if w in answers:
+                                            answers[w] |= delta
+                                        else:
+                                            answers[w] = delta
+        frontier = {}
+        for state, by_dest in next_frontier.items():
+            cleaned = {dest: bucket for dest, bucket in by_dest.items() if bucket}
+            if cleaned:
+                frontier[state] = cleaned
+    return answers
+
+
+def _single_source_sweep(
+    sharded: ShardedGraphDB,
+    compiled: CompiledAutomaton,
+    source_id: int,
+    stop_at: int | None = None,
+    fail_shards: frozenset[int] = frozenset(),
+) -> set[int]:
+    """Node ids reachable from ``source_id`` in an accepting state.
+
+    The shard-partitioned twin of the engine's forward sweep: frontier
+    slices are keyed by owning shard, expansion uses each shard's
+    internal index, and cut-edge deltas are stitched into the destination
+    shard's slice.  With ``stop_at`` the sweep returns as soon as that
+    target is known to be an answer (used by the single-pair entry
+    point).  ``fail_shards`` mirrors the all-pairs kernel's fault
+    injection: the sweep dies if the shard owning the source is marked.
+    """
+    if fail_shards and sharded.owner(source_id) in fail_shards:
+        raise RuntimeError(
+            f"injected fault: sweep died in shard {sharded.owner(source_id)}"
+        )
+    table = compiled.table
+    finals = compiled.finals
+    shards = sharded.shards
+    result: set[int] = set()
+    if compiled.accepts_epsilon:
+        result.add(source_id)
+        if stop_at is not None and stop_at == source_id:
+            return result
+    if not compiled.initials:
+        return result
+    source_owner = sharded.owner(source_id)
+    reached: dict[int, set[int]] = {
+        state: {source_id} for state in compiled.initials
+    }
+    frontier: dict[int, dict[int, set[int]]] = {
+        state: {source_owner: {source_id}} for state in compiled.initials
+    }
+    while frontier:
+        next_frontier: dict[int, dict[int, set[int]]] = {}
+        for state, by_shard in frontier.items():
+            row = table.get(state)
+            if not row:
+                continue
+            for here, nodes in by_shard.items():
+                shard = shards[here]
+                for label, next_states in row.items():
+                    internal = shard.internal.get(label)
+                    internal_targets: set[int] = set()
+                    if internal:
+                        if len(internal) < len(nodes):
+                            for v in internal:
+                                if v in nodes:
+                                    internal_targets |= internal[v]
+                        else:
+                            for v in nodes:
+                                targets = internal.get(v)
+                                if targets:
+                                    internal_targets |= targets
+                    cut = shard.cut.get(label)
+                    crossing: dict[int, set[int]] = {}
+                    if cut:
+                        if len(cut) < len(nodes):
+                            groups_hit = [cut[v] for v in cut if v in nodes]
+                        else:
+                            groups_hit = [cut[v] for v in nodes if v in cut]
+                        for groups in groups_hit:
+                            for dest, targets in groups:
+                                if dest in crossing:
+                                    crossing[dest].update(targets)
+                                else:
+                                    crossing[dest] = set(targets)
+                    if not internal_targets and not crossing:
+                        continue
+                    for next_state in next_states:
+                        seen = reached.get(next_state)
+                        if seen is None:
+                            seen = reached[next_state] = set()
+                        by_dest = next_frontier.get(next_state)
+                        if by_dest is None:
+                            by_dest = next_frontier[next_state] = {}
+                        is_final = next_state in finals
+                        if internal_targets:
+                            delta = internal_targets - seen
+                            if delta:
+                                seen |= delta
+                                if here in by_dest:
+                                    by_dest[here] |= delta
+                                else:
+                                    by_dest[here] = set(delta)
+                                if is_final:
+                                    result |= delta
+                        for dest, targets in crossing.items():
+                            delta = targets - seen
+                            if delta:
+                                seen |= delta
+                                if dest in by_dest:
+                                    by_dest[dest] |= delta
+                                else:
+                                    by_dest[dest] = set(delta)
+                                if is_final:
+                                    result |= delta
+        if stop_at is not None and stop_at in result:
+            return result
+        frontier = {}
+        for state, by_dest in next_frontier.items():
+            cleaned = {dest: nodes for dest, nodes in by_dest.items() if nodes}
+            if cleaned:
+                frontier[state] = cleaned
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+# Populated once per worker process by the pool initializer, so the
+# sharded-graph payload (the bulky part) is pickled per *worker*, not
+# per task; the compiled automaton (small) rides along with each task,
+# letting one long-lived pool serve every query against the snapshot.
+_WORKER_PAYLOAD: dict[str, tuple] = {}
+
+
+def _init_worker(sharded, fail_shards) -> None:
+    _WORKER_PAYLOAD["args"] = (sharded, fail_shards)
+
+
+def _pool_sweep(compiled: CompiledAutomaton, shard_index: int) -> dict[int, int]:
+    sharded, fail_shards = _WORKER_PAYLOAD["args"]
+    return _sweep_shard(sharded, compiled, shard_index, fail_shards)
+
+
+class ParallelEvaluator:
+    """Shard-parallel evaluation of a compiled automaton over one graph.
+
+    ``num_shards`` fixes the partition (and the all-pairs work/mask
+    decomposition); ``workers`` caps the process pool.  With
+    ``workers <= 1`` — or when the host cannot spawn process pools — the
+    same per-shard kernels run sequentially in shard order, producing
+    **bit-identical** results (the differential harness asserts this for
+    every entry point).  A worker that *raises* mid-sweep is surfaced as
+    :class:`ShardedEvaluationError` after the pool is torn down; see
+    :class:`~repro.service.session.QuerySession` for the fallback policy.
+
+    The partition snapshot is taken at construction time: a
+    ``ParallelEvaluator`` answers for the graph as it was when built,
+    matching the engine's compile-once discipline (long-lived callers
+    rebuild on data-version changes, as ``QuerySession`` does).
+
+    The worker pool is likewise built once, on the first pooled call,
+    and reused for the evaluator's lifetime: the graph snapshot is
+    shipped to each worker exactly once (pool initializer) and each task
+    carries only the small compiled automaton, so answering many queries
+    against one snapshot pays one pool spawn, not one per query.  Call
+    :meth:`close` (or use the evaluator as a context manager) to release
+    the workers; a failed sweep tears the pool down automatically.
+    """
+
+    def __init__(
+        self,
+        db: GraphDB,
+        num_shards: int = 4,
+        workers: int = 1,
+        *,
+        pool_timeout: float | None = 300.0,
+        _fail_shards: Iterable[int] = (),
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.db = db
+        self.sharded = ShardedGraphDB(db, num_shards)
+        self.workers = workers
+        self.pool_timeout = pool_timeout
+        self._fail_shards = frozenset(_fail_shards)
+        self._pool = None
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    # ------------------------------------------------------------------
+    # Entry points (same trio as the engine)
+    # ------------------------------------------------------------------
+    def evaluate_all_sorted(self, compiled: CompiledAutomaton) -> list[Pair]:
+        """All answer pairs, sorted by ``(node_id(x), node_id(y))``.
+
+        The order is the database's interning order — identical for
+        every shard count, worker count, and process — so two runs can
+        be compared byte for byte.
+        """
+        per_shard = self._sweep_all(compiled)
+        bounds = self.sharded.bounds
+        node_at = self.db.node_at
+        pairs: list[Pair] = []
+        for shard_index, answers in enumerate(per_shard):
+            lo = bounds[shard_index]
+            id_pairs: list[tuple[int, int]] = []
+            for target_id, mask in answers.items():
+                while mask:
+                    low_bit = mask & -mask
+                    id_pairs.append((low_bit.bit_length() - 1 + lo, target_id))
+                    mask ^= low_bit
+            id_pairs.sort()
+            pairs.extend(
+                (node_at(source_id), node_at(target_id))
+                for source_id, target_id in id_pairs
+            )
+        return pairs
+
+    def evaluate_all(self, compiled: CompiledAutomaton) -> frozenset[Pair]:
+        """All pairs ``(x, y)`` with a matching path (engine-equivalent)."""
+        return frozenset(self.evaluate_all_sorted(compiled))
+
+    def evaluate_single_source(
+        self, compiled: CompiledAutomaton, source: Hashable
+    ) -> frozenset[Hashable]:
+        """All ``y`` with a matching path from ``source``.
+
+        Raises ``KeyError`` on unknown nodes, like the engine; any
+        failure *inside* the sweep surfaces as
+        :class:`ShardedEvaluationError` (the same degradation contract
+        as the all-pairs entry point).
+        """
+        source_id = self.db.node_id(source)
+        try:
+            reached = _single_source_sweep(
+                self.sharded, compiled, source_id,
+                fail_shards=self._fail_shards,
+            )
+        except Exception as exc:
+            raise ShardedEvaluationError(
+                f"single-source sweep failed: {exc!r}"
+            ) from exc
+        node_at = self.db.node_at
+        return frozenset(node_at(v) for v in reached)
+
+    def evaluate_pair(
+        self, compiled: CompiledAutomaton, source: Hashable, target: Hashable
+    ) -> bool:
+        """Is ``(source, target)`` an answer?  Early-exiting forward sweep.
+
+        ``KeyError`` on unknown endpoints; sweep failures become
+        :class:`ShardedEvaluationError`, like every other entry point.
+        """
+        source_id = self.db.node_id(source)
+        target_id = self.db.node_id(target)
+        try:
+            reached = _single_source_sweep(
+                self.sharded, compiled, source_id, stop_at=target_id,
+                fail_shards=self._fail_shards,
+            )
+        except Exception as exc:
+            raise ShardedEvaluationError(
+                f"single-pair sweep failed: {exc!r}"
+            ) from exc
+        return target_id in reached
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _sweep_all(self, compiled: CompiledAutomaton) -> list[dict[int, int]]:
+        indices = range(self.sharded.num_shards)
+        workers = min(self.workers, self.sharded.num_shards)
+        if workers > 1:
+            pool = self._ensure_pool(workers)
+            if pool is not None:
+                return self._run_pool(pool, compiled, indices)
+        # Sequential k-shard fallback: the same kernels, in shard order.
+        # Failures get the same typed error as the pool path, so callers
+        # have one degradation contract regardless of worker count.
+        results = []
+        for shard_index in indices:
+            try:
+                results.append(
+                    _sweep_shard(
+                        self.sharded, compiled, shard_index, self._fail_shards
+                    )
+                )
+            except Exception as exc:
+                raise ShardedEvaluationError(
+                    f"shard {shard_index} sweep failed: {exc!r}"
+                ) from exc
+        return results
+
+    def _ensure_pool(self, workers: int):
+        """The evaluator's long-lived pool, spawned on first use with the
+        graph snapshot shipped once per worker, or ``None`` when the host
+        cannot run process pools (restricted sandboxes, missing semaphore
+        support) — the documented cue for the bit-identical sequential
+        fallback."""
+        if self._pool is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(self.sharded, self._fail_shards),
+                )
+            except (ImportError, NotImplementedError, OSError, PermissionError):
+                return None
+        return self._pool
+
+    def _run_pool(self, pool, compiled, indices) -> list[dict[int, int]]:
+        try:
+            futures = [pool.submit(_pool_sweep, compiled, i) for i in indices]
+            results = [
+                future.result(timeout=self.pool_timeout) for future in futures
+            ]
+        except BaseException as exc:
+            # Tear the pool down without waiting on wedged workers, then
+            # surface one clean, typed error.
+            self.close(wait=False)
+            raise ShardedEvaluationError(
+                f"shard sweep failed in the worker pool: {exc!r}"
+            ) from exc
+        return results
+
+    def close(self, wait: bool = True) -> None:
+        """Release the worker pool (idempotent).
+
+        Sequential evaluation keeps working after ``close``; the next
+        pooled call simply re-spawns.  ``QuerySession`` closes the
+        evaluator whenever it rebuilds the partition for a new store
+        version.  ``wait=False`` skips joining the workers — used on the
+        failure path, where a worker may be wedged.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelEvaluator(shards={self.sharded.num_shards}, "
+            f"workers={self.workers}, nodes={self.sharded.num_nodes}, "
+            f"cut_edges={self.sharded.num_cut_edges})"
+        )

@@ -1,0 +1,335 @@
+"""Seeded workload generation: named graph families plus query/view mixes.
+
+The fixtures of the unit suite stop at ~1k nodes; the sharded evaluator
+(:mod:`repro.rpq.sharded`), the benchmarks, and the randomized
+differential harness all need graphs well beyond that, with *known
+shapes* (so tests can assert structural invariants) and *exact
+reproducibility* (so a failing seed can be replayed anywhere).  This
+module is the single source of those workloads.
+
+Determinism contract
+--------------------
+Every generator is a pure function of ``(family, seed, size knobs)``:
+
+* the only randomness source is one ``random.Random(seed)`` instance;
+* node names are ``"n0" .. "n{N-1}"``, interned in increasing order, so
+  the dense ids of :class:`~repro.rpq.graphdb.GraphDB` coincide with the
+  generation order on every run and in every process;
+* :func:`graph_signature` hashes the canonically sorted triple set —
+  equal signatures mean equal edge sets *and* equal node interning
+  order (the node list is part of the digest).
+
+``tests/rpq/test_workload.py`` holds the generators to this contract by
+round-tripping signatures through a fresh subprocess.
+
+Families
+--------
+``chain``
+    A single labelled path ``n0 -> n1 -> ... -> nE``; the worst case for
+    graph partitioning (every shard boundary cuts the one path there is).
+``grid``
+    A rows x cols lattice with ``r`` (right) and ``d`` (down) edges —
+    the classic bounded-degree mesh; the seed picks the aspect ratio and
+    the dimensions are the smallest reaching the requested edge count.
+``scale_free``
+    Preferential attachment: each new node attaches ``m`` out-edges to
+    endpoints sampled proportionally to their current degree, yielding
+    the hub-dominated degree skew of real web/social graphs.
+``layered_dag``
+    ``L`` layers of equal width with edges only from layer ``i`` to
+    layer ``i+1`` (ids strictly increase along every edge), the shape of
+    staged pipelines and unrolled transition systems.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from .graphdb import GraphDB
+
+__all__ = [
+    "FAMILIES",
+    "Workload",
+    "make_graph",
+    "make_queries",
+    "make_views",
+    "make_workload",
+    "graph_signature",
+    "graph_triples",
+]
+
+FAMILIES = ("chain", "grid", "scale_free", "layered_dag")
+
+# Per-family edge alphabets.  Kept tiny on purpose: RPQ evaluation cost
+# is driven by reachability structure, not label variety, and a small
+# alphabet makes generated queries exercise real path sharing.
+_LABELS = {
+    "chain": ("a", "b"),
+    "grid": ("r", "d"),
+    "scale_free": ("a", "b", "c"),
+    "layered_dag": ("a", "b"),
+}
+
+# Query templates per family.  ``{x}``/``{y}``/``{z}`` are filled with
+# labels drawn from the family alphabet.  Starred templates are kept
+# separate: on large dense families (scale-free hubs) a star reaches the
+# giant component and the all-pairs answer grows quadratically, which
+# benchmarks and fuzz tests must opt into knowingly.
+_BOUNDED_TEMPLATES = (
+    "{x}",
+    "{x}.{y}",
+    "{x}.{y}.{z}",
+    "({x}+{y}).{z}",
+    "{x}.({y}+{z})",
+    "({x}+{y}).({y}+{z})",
+)
+_STARRED_TEMPLATES = (
+    "{x}*.{y}",
+    "{x}.{y}*",
+    "({x}+{y})*",
+    "{x}.({y}.{z})*",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One reproducible scenario: a graph plus matching query/view mixes."""
+
+    family: str
+    seed: int
+    graph: GraphDB
+    queries: tuple[str, ...]
+    views: tuple[tuple[str, str], ...]  # (view name, regex), definition order
+
+    @property
+    def view_defs(self) -> dict[str, str]:
+        return dict(self.views)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload[{self.family}(seed={self.seed}, "
+            f"nodes={self.graph.num_nodes}, edges={self.graph.num_edges}, "
+            f"queries={len(self.queries)})]"
+        )
+
+
+def _check_family(family: str) -> None:
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown workload family {family!r}; choose one of {FAMILIES}"
+        )
+
+
+def _node_names(count: int) -> list[str]:
+    return [f"n{i}" for i in range(count)]
+
+
+def make_graph(family: str, seed: int, *, edges: int = 1000) -> GraphDB:
+    """A seeded graph of the given family with at least ``edges`` edges.
+
+    ``edges`` is a floor, not an exact count: lattice-shaped families
+    round up to the next complete shape (e.g. a full W x W grid).  The
+    same ``(family, seed, edges)`` triple produces a byte-identical
+    graph in any process (see :func:`graph_signature`).
+    """
+    _check_family(family)
+    if edges < 1:
+        raise ValueError("a workload graph needs at least one edge")
+    rng = random.Random((seed, family, edges).__repr__())
+    builder = _BUILDERS[family]
+    db = builder(rng, edges)
+    assert db.num_edges >= edges, (family, db.num_edges, edges)
+    return db
+
+
+def _build_chain(rng: random.Random, edges: int) -> GraphDB:
+    labels = _LABELS["chain"]
+    names = _node_names(edges + 1)
+    db = GraphDB()
+    for i in range(edges):
+        db.add_edge(names[i], rng.choice(labels), names[i + 1])
+    return db
+
+
+def _build_grid(rng: random.Random, edges: int) -> GraphDB:
+    # A rows x cols lattice (rows = cols + seeded jitter): the aspect
+    # ratio is the seeded degree of freedom, the lattice itself is fully
+    # determined.  Smallest complete lattice reaching the edge floor.
+    jitter = rng.randrange(3)
+    cols = 2
+    while (cols + jitter) * (cols - 1) + (cols + jitter - 1) * cols < edges:
+        cols += 1
+    rows = cols + jitter
+    names = _node_names(rows * cols)
+    db = GraphDB()
+    for name in names:
+        db.add_node(name)
+    for row in range(rows):
+        for col in range(cols):
+            here = names[row * cols + col]
+            if col + 1 < cols:
+                db.add_edge(here, "r", names[row * cols + col + 1])
+            if row + 1 < rows:
+                db.add_edge(here, "d", names[(row + 1) * cols + col])
+    return db
+
+
+def _build_scale_free(rng: random.Random, edges: int) -> GraphDB:
+    # Preferential attachment with m out-edges per arriving node: targets
+    # are drawn from a repeated-endpoint list, so a node's sampling weight
+    # is proportional to its degree (the Barabasi-Albert trick).
+    labels = _LABELS["scale_free"]
+    m = 3
+    num_nodes = max(m + 1, edges // m + 1)
+    names = _node_names(num_nodes)
+    db = GraphDB()
+    endpoint_pool: list[int] = []
+    for i in range(m + 1):
+        db.add_node(names[i])
+        endpoint_pool.append(i)
+    for i in range(m + 1, num_nodes):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(endpoint_pool[rng.randrange(len(endpoint_pool))])
+        for target in sorted(chosen):
+            db.add_edge(names[i], rng.choice(labels), names[target])
+            endpoint_pool.append(target)
+        endpoint_pool.append(i)
+    # Top up duplicates-collapsed shortfall with random hub-biased edges.
+    while db.num_edges < edges:
+        source = endpoint_pool[rng.randrange(len(endpoint_pool))]
+        target = endpoint_pool[rng.randrange(len(endpoint_pool))]
+        db.add_edge(names[source], rng.choice(labels), names[target])
+    return db
+
+
+def _build_layered_dag(rng: random.Random, edges: int) -> GraphDB:
+    # Roughly square: L layers of width L, edges only layer i -> i+1.
+    labels = _LABELS["layered_dag"]
+    layers = 3
+    while (layers - 1) * layers * 2 < edges:
+        layers += 1
+    width = layers
+    names = _node_names(layers * width)
+    db = GraphDB()
+    for name in names:
+        db.add_node(name)
+    while db.num_edges < edges:
+        layer = rng.randrange(layers - 1)
+        source = layer * width + rng.randrange(width)
+        target = (layer + 1) * width + rng.randrange(width)
+        db.add_edge(names[source], rng.choice(labels), names[target])
+    return db
+
+
+_BUILDERS = {
+    "chain": _build_chain,
+    "grid": _build_grid,
+    "scale_free": _build_scale_free,
+    "layered_dag": _build_layered_dag,
+}
+
+
+def make_queries(
+    family: str,
+    seed: int,
+    *,
+    count: int = 8,
+    include_starred: bool = True,
+) -> tuple[str, ...]:
+    """A seeded query mix over the family's edge alphabet.
+
+    With ``include_starred=False`` only bounded-length templates are
+    used — the right mix for all-pairs benchmarks on large graphs, where
+    a star over a dense family would make the answer itself quadratic.
+    """
+    _check_family(family)
+    if count < 1:
+        raise ValueError("a query mix needs at least one query")
+    rng = random.Random((seed, family, "queries").__repr__())
+    templates = _BOUNDED_TEMPLATES + (
+        _STARRED_TEMPLATES if include_starred else ()
+    )
+    labels = _LABELS[family]
+    queries = []
+    for _ in range(count):
+        template = templates[rng.randrange(len(templates))]
+        queries.append(
+            template.format(
+                x=rng.choice(labels), y=rng.choice(labels), z=rng.choice(labels)
+            )
+        )
+    return tuple(queries)
+
+
+def make_views(family: str, seed: int) -> tuple[tuple[str, str], ...]:
+    """A seeded view mix: every elementary view plus seeded composites.
+
+    Elementary views (one per label) guarantee the maximal rewriting of
+    any query over the family alphabet is exact, so service-level
+    harnesses can compare view-based answers against direct evaluation.
+    """
+    _check_family(family)
+    rng = random.Random((seed, family, "views").__repr__())
+    labels = _LABELS[family]
+    views = [(f"v_{label}", label) for label in labels]
+    x, y = rng.choice(labels), rng.choice(labels)
+    views.append((f"v_{x}{y}", f"{x}.{y}"))
+    views.append((f"v_{x}s", f"{x}*"))
+    return tuple(views)
+
+
+def make_workload(
+    family: str,
+    seed: int,
+    *,
+    edges: int = 1000,
+    queries: int = 8,
+    include_starred: bool = True,
+) -> Workload:
+    """Bundle a seeded graph with its matching query and view mixes."""
+    return Workload(
+        family=family,
+        seed=seed,
+        graph=make_graph(family, seed, edges=edges),
+        queries=make_queries(
+            family, seed, count=queries, include_starred=include_starred
+        ),
+        views=make_views(family, seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical bytes (the determinism contract made checkable)
+# ----------------------------------------------------------------------
+
+
+def graph_triples(db: GraphDB) -> Iterator[tuple[str, str, str]]:
+    """The edge set as sorted, stringified triples (canonical order)."""
+    return iter(
+        sorted(
+            (str(source), str(label), str(target))
+            for source, label, target in db.edges()
+        )
+    )
+
+
+def graph_signature(db: GraphDB) -> str:
+    """A sha256 hex digest of the graph's canonical bytes.
+
+    Covers the sorted triple set *and* the node interning order, so two
+    graphs share a signature exactly when the engine sees them as
+    identical (same ids, same indexes).
+    """
+    digest = hashlib.sha256()
+    node_at = db.node_at
+    for node_id in range(db.num_nodes):
+        digest.update(str(node_at(node_id)).encode())
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    for source, label, target in graph_triples(db):
+        digest.update(f"{source}\t{label}\t{target}\n".encode())
+    return digest.hexdigest()

@@ -30,6 +30,7 @@ from ..automata.nfa import NFA
 from ..rpq import engine as _engine
 from ..rpq.query import QuerySpec
 from ..rpq.rewriting import RPQRewritingResult
+from ..rpq.sharded import ParallelEvaluator, ShardedEvaluationError
 from ..rpq.theory import Theory
 from ..rpq.views import RPQViews
 from .plancache import RewritePlanCache
@@ -49,6 +50,18 @@ class QuerySession:
     session re-validates its memoized evaluation state against
     ``store.version`` on every request, so interleaved updates and reads
     are always consistent.
+
+    ``parallelism`` (the shard count) switches evaluation onto
+    :class:`~repro.rpq.sharded.ParallelEvaluator` when >= 2: the view
+    graph is partitioned into that many node-range shards and the
+    all-pairs sweep runs per shard, on up to ``workers`` processes
+    (``workers=1`` runs the same shard kernels sequentially —
+    bit-identical answers either way).  The shard partition is evaluation
+    state like any other: it is rebuilt when ``store.version`` moves and
+    never outlives the data it was cut from.  If a worker ever fails
+    mid-sweep the session logs ``stats["parallel_failures"]``, answers
+    the request on the sequential engine, and disables the pool for its
+    remaining lifetime — a degraded session stays correct and usable.
     """
 
     def __init__(
@@ -57,11 +70,18 @@ class QuerySession:
         views: RPQViews | Mapping[Hashable, QuerySpec],
         theory: Theory,
         plans: RewritePlanCache | None = None,
+        parallelism: int | None = None,
+        workers: int = 1,
     ):
         self.store = store
         self.views = views if isinstance(views, RPQViews) else RPQViews(views)
         self.theory = theory
         self.plans = plans if plans is not None else RewritePlanCache()
+        self.parallelism = parallelism
+        self.workers = workers
+        self._evaluator: ParallelEvaluator | None = None
+        self._evaluator_version = -1
+        self._parallel_disabled = False
         # key -> (plan, rewriting-as-NFA); the NFA object is cached so the
         # engine's compilation LRU (keyed on automaton identity) hits on
         # every request instead of recompiling per call.
@@ -72,7 +92,13 @@ class QuerySession:
         self._plan_keys: dict[Hashable, str] = {}
         self._answers: dict[str, frozenset[Pair]] = {}
         self._answers_version = -1
-        self.stats = {"requests": 0, "answer_memo_hits": 0, "invalidations": 0}
+        self.stats = {
+            "requests": 0,
+            "answer_memo_hits": 0,
+            "invalidations": 0,
+            "parallel_sweeps": 0,
+            "parallel_failures": 0,
+        }
 
     # ------------------------------------------------------------------
     # Plans
@@ -134,6 +160,47 @@ class QuerySession:
             self._answers_version = version
 
     # ------------------------------------------------------------------
+    # Sharded evaluation (the ``parallelism`` knob)
+    # ------------------------------------------------------------------
+    def _parallel(self) -> ParallelEvaluator | None:
+        """The shard evaluator for the store's *current* version, or
+        ``None`` when parallel evaluation is off (no knob, shard count
+        < 2, or disabled after a worker failure).  Rebuilt whenever the
+        store's version moves: the partition is evaluation state and
+        follows the same invalidation contract as memoized answers."""
+        if self._parallel_disabled or not self.parallelism or self.parallelism < 2:
+            return None
+        version = self.store.version
+        if self._evaluator is None or self._evaluator_version != version:
+            if self._evaluator is not None:
+                self._evaluator.close()  # release the stale snapshot's pool
+            self._evaluator = ParallelEvaluator(
+                self.store.graph,
+                num_shards=self.parallelism,
+                workers=self.workers,
+            )
+            self._evaluator_version = version
+        return self._evaluator
+
+    def _evaluate(self, parallel_call, sequential_call):
+        """Run on the shard evaluator when enabled; on any mid-sweep
+        worker failure fall back to the sequential engine for this and
+        all future requests (the session stays usable, just undegraded
+        to single-process evaluation)."""
+        evaluator = self._parallel()
+        if evaluator is not None:
+            try:
+                result = parallel_call(evaluator)
+                self.stats["parallel_sweeps"] += 1
+                return result
+            except ShardedEvaluationError:
+                self.stats["parallel_failures"] += 1
+                self._parallel_disabled = True
+                evaluator.close()
+                self._evaluator = None
+        return sequential_call()
+
+    # ------------------------------------------------------------------
     # Answering
     # ------------------------------------------------------------------
     def answer(self, query: QuerySpec) -> frozenset[Pair]:
@@ -149,7 +216,11 @@ class QuerySession:
         if cached is not None:
             self.stats["answer_memo_hits"] += 1
             return cached
-        answers = _engine.evaluate_all(self.store.graph, self._compiled(nfa))
+        compiled = self._compiled(nfa)
+        answers = self._evaluate(
+            lambda evaluator: evaluator.evaluate_all(compiled),
+            lambda: _engine.evaluate_all(self.store.graph, compiled),
+        )
         self._answers[key] = answers
         return answers
 
@@ -166,8 +237,12 @@ class QuerySession:
         _key, (_plan, nfa) = self._plan_entry(query)
         if not self._known_node(source):
             return frozenset()
-        return _engine.evaluate_single_source(
-            self.store.graph, self._compiled(nfa), source
+        compiled = self._compiled(nfa)
+        return self._evaluate(
+            lambda evaluator: evaluator.evaluate_single_source(compiled, source),
+            lambda: _engine.evaluate_single_source(
+                self.store.graph, compiled, source
+            ),
         )
 
     def answer_pair(
@@ -179,9 +254,28 @@ class QuerySession:
         _key, (_plan, nfa) = self._plan_entry(query)
         if not (self._known_node(source) and self._known_node(target)):
             return False
-        return _engine.evaluate_pair(
-            self.store.graph, self._compiled(nfa), source, target
+        compiled = self._compiled(nfa)
+        return self._evaluate(
+            lambda evaluator: evaluator.evaluate_pair(compiled, source, target),
+            lambda: _engine.evaluate_pair(
+                self.store.graph, compiled, source, target
+            ),
         )
+
+    def close(self) -> None:
+        """Release evaluation resources (the shard evaluator's worker
+        pool, when parallelism is on).  Idempotent, and the session stays
+        usable: the next parallel request rebuilds what it needs."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+            self._evaluator_version = -1
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def answer_many(
         self, queries: Iterable[QuerySpec]
@@ -195,8 +289,15 @@ class QuerySession:
         return [self.answer(query) for query in queries]
 
     def __repr__(self) -> str:
+        parallel = ""
+        if self.parallelism and self.parallelism >= 2:
+            state = "off" if self._parallel_disabled else "on"
+            parallel = (
+                f", parallel={state}(shards={self.parallelism}, "
+                f"workers={self.workers})"
+            )
         return (
             f"QuerySession(views={list(self.views.symbols)}, "
             f"plans={len(self._compiled_plans)}, "
-            f"store_version={self.store.version})"
+            f"store_version={self.store.version}{parallel})"
         )

@@ -1,0 +1,176 @@
+"""Partition invariants, the worker-pool path, and crash recovery.
+
+The differential harness (``test_sharded_differential``) pins answer
+equality; this file pins the machinery around it: that
+:class:`ShardedGraphDB` is a true partition of the input graph, that the
+process-pool path is exercised end to end, and that a worker dying
+mid-sweep surfaces one clean :class:`ShardedEvaluationError` — promptly,
+with the pool torn down — rather than a hang or a half answer.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpq import (
+    RPQ,
+    ParallelEvaluator,
+    ShardedEvaluationError,
+    ShardedGraphDB,
+    make_graph,
+    make_queries,
+)
+from repro.rpq import engine as engine_mod
+
+
+def compiled_for(db, query):
+    return engine_mod.compile_automaton(
+        RPQ(query).eps_free_nfa(), None, db.domain()
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardedGraphDB is a partition
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    edges=st.integers(min_value=4, max_value=60),
+    num_shards=st.integers(min_value=1, max_value=12),
+    family=st.sampled_from(("chain", "grid", "scale_free", "layered_dag")),
+)
+def test_partition_conserves_nodes_and_edges(seed, edges, num_shards, family):
+    db = make_graph(family, seed, edges=edges)
+    sharded = ShardedGraphDB(db, num_shards)
+    assert sum(sharded.shard_sizes()) == db.num_nodes
+    assert sharded.num_edges == db.num_edges
+    assert sharded.num_internal_edges + sharded.num_cut_edges == db.num_edges
+    # Every node is owned by the shard whose range contains it, and every
+    # edge is stored by its source's owner with the right cut/internal split.
+    for node_id in range(db.num_nodes):
+        owner = sharded.owner(node_id)
+        shard = sharded.shards[owner]
+        assert shard.lo <= node_id < shard.hi
+    for source, label, target in db.edges():
+        source_id, target_id = db.node_id(source), db.node_id(target)
+        shard = sharded.shards[sharded.owner(source_id)]
+        if sharded.owner(target_id) == shard.index:
+            assert target_id in shard.internal[label][source_id]
+        else:
+            groups = dict(shard.cut[label][source_id])
+            assert target_id in groups[sharded.owner(target_id)]
+
+
+def test_single_shard_has_no_cut_edges():
+    db = make_graph("scale_free", seed=3, edges=80)
+    sharded = ShardedGraphDB(db, 1)
+    assert sharded.num_cut_edges == 0
+    assert sharded.num_internal_edges == db.num_edges
+
+
+def test_invalid_shard_and_worker_counts_rejected():
+    db = make_graph("chain", seed=0, edges=4)
+    with pytest.raises(ValueError):
+        ShardedGraphDB(db, 0)
+    with pytest.raises(ValueError):
+        ParallelEvaluator(db, num_shards=2, workers=0)
+    with pytest.raises(IndexError):
+        ShardedGraphDB(db, 2).owner(db.num_nodes)
+
+
+# ----------------------------------------------------------------------
+# The worker-pool path
+# ----------------------------------------------------------------------
+
+
+def test_pool_matches_sequential_on_every_family():
+    for family in ("chain", "grid", "scale_free", "layered_dag"):
+        db = make_graph(family, seed=6, edges=120)
+        query = make_queries(family, seed=6, count=1)[0]
+        compiled = compiled_for(db, query)
+        sequential = ParallelEvaluator(db, num_shards=4, workers=1)
+        pooled = ParallelEvaluator(db, num_shards=4, workers=3)
+        assert pooled.evaluate_all_sorted(
+            compiled
+        ) == sequential.evaluate_all_sorted(compiled)
+
+
+def test_workers_capped_by_shard_count_single_shard_stays_sequential():
+    """workers > shards never spawns more processes than shards; one
+    shard runs inline (the pool would be pure overhead)."""
+    db = make_graph("grid", seed=2, edges=40)
+    compiled = compiled_for(db, "r.d")
+    evaluator = ParallelEvaluator(db, num_shards=1, workers=8)
+    assert evaluator.evaluate_all_sorted(
+        compiled
+    ) == engine_mod.evaluate_all_sorted(db, compiled)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2], ids=["sequential", "pool"])
+def test_worker_fault_surfaces_clean_typed_error(workers):
+    """A worker raising mid-sweep becomes ShardedEvaluationError on both
+    execution paths — no hang, no partial answer, pool torn down."""
+    db = make_graph("layered_dag", seed=8, edges=60)
+    compiled = compiled_for(db, "a.b")
+    evaluator = ParallelEvaluator(
+        db, num_shards=4, workers=workers, _fail_shards=[2]
+    )
+    with pytest.raises(ShardedEvaluationError) as excinfo:
+        evaluator.evaluate_all(compiled)
+    assert "fault" in str(excinfo.value)
+
+
+def test_pool_is_reused_across_calls_and_released_by_close():
+    """One evaluator = one pool: repeated queries must not re-spawn
+    workers, and close() must release them (sequential still works)."""
+    db = make_graph("grid", seed=4, edges=80)
+    first = compiled_for(db, "r.d")
+    second = compiled_for(db, "d.d")
+    with ParallelEvaluator(db, num_shards=4, workers=2) as evaluator:
+        evaluator.evaluate_all(first)
+        pool = evaluator._pool
+        assert pool is not None
+        evaluator.evaluate_all(second)
+        assert evaluator._pool is pool  # same pool, no re-spawn
+    assert evaluator._pool is None  # context exit closed it
+    # Still answers correctly after close (sequential, then re-spawned).
+    assert evaluator.evaluate_all_sorted(
+        first
+    ) == engine_mod.evaluate_all_sorted(db, first)
+
+
+def test_single_source_and_pair_faults_use_the_same_contract():
+    """Kernel failures on the single-source/single-pair entry points
+    surface as ShardedEvaluationError too (QuerySession's fallback
+    depends on it) — while unknown-node KeyErrors stay KeyErrors."""
+    db = make_graph("chain", seed=2, edges=10)
+    compiled = compiled_for(db, "a.b")
+    all_shards = range(4)
+    evaluator = ParallelEvaluator(
+        db, num_shards=4, workers=1, _fail_shards=all_shards
+    )
+    with pytest.raises(ShardedEvaluationError):
+        evaluator.evaluate_single_source(compiled, "n0")
+    with pytest.raises(ShardedEvaluationError):
+        evaluator.evaluate_pair(compiled, "n0", "n2")
+    with pytest.raises(KeyError):
+        evaluator.evaluate_single_source(compiled, "ghost")
+
+
+def test_fresh_evaluator_recovers_after_a_fault():
+    db = make_graph("grid", seed=5, edges=60)
+    compiled = compiled_for(db, "r.r.d")
+    faulty = ParallelEvaluator(db, num_shards=3, workers=2, _fail_shards=[0])
+    with pytest.raises(ShardedEvaluationError):
+        faulty.evaluate_all(compiled)
+    healthy = ParallelEvaluator(db, num_shards=3, workers=2)
+    assert healthy.evaluate_all_sorted(
+        compiled
+    ) == engine_mod.evaluate_all_sorted(db, compiled)

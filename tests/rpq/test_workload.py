@@ -1,0 +1,209 @@
+"""Seeded-determinism and shape-invariant tests for the workload module.
+
+The generator's contract is that ``(family, seed, size)`` fully
+determines the graph — same bytes in any process, regardless of
+``PYTHONHASHSEED`` — and that each family actually has the shape its
+name promises.  Cross-process determinism is checked the only honest
+way: a fresh subprocess regenerates every family and must reproduce the
+parent's canonical signatures exactly.
+"""
+
+import json
+import subprocess
+import sys
+from math import isqrt
+from pathlib import Path
+
+import pytest
+
+from repro.regex.parser import parse
+from repro.rpq import (
+    FAMILIES,
+    RPQ,
+    graph_signature,
+    make_graph,
+    make_queries,
+    make_views,
+    make_workload,
+)
+from repro.rpq.workload import graph_triples
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.rpq import FAMILIES, graph_signature, make_graph, make_queries
+
+seed, edges = int(sys.argv[1]), int(sys.argv[2])
+out = {}
+for family in FAMILIES:
+    db = make_graph(family, seed, edges=edges)
+    out[family] = {
+        "signature": graph_signature(db),
+        "queries": list(make_queries(family, seed, count=6)),
+    }
+print(json.dumps(out))
+"""
+
+
+def test_same_seed_reproduces_byte_identical_graphs_across_processes():
+    """The subprocess round-trip: every family, regenerated from the seed
+    in a fresh interpreter (fresh hash randomization), must hash to the
+    same canonical signature and produce the same query mix."""
+    seed, edges = 20260730, 120
+    expected = {
+        family: {
+            "signature": graph_signature(make_graph(family, seed, edges=edges)),
+            "queries": list(make_queries(family, seed, count=6)),
+        }
+        for family in FAMILIES
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(seed), str(edges)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random"},
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == expected
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_same_seed_same_graph_different_seed_different_graph(family):
+    base = graph_signature(make_graph(family, seed=11, edges=90))
+    again = graph_signature(make_graph(family, seed=11, edges=90))
+    assert base == again
+    # Seeds must actually steer generation.  The grid family's only
+    # degree of freedom is its aspect ratio, so any *single* pair of
+    # seeds may collide; a handful of seeds must not.
+    others = {
+        graph_signature(make_graph(family, seed=seed, edges=90))
+        for seed in range(12, 18)
+    }
+    assert len(others | {base}) >= 2
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_edge_floor_is_honoured(family):
+    for edges in (1, 7, 50, 333):
+        assert make_graph(family, seed=3, edges=edges).num_edges >= edges
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_queries_parse_and_reproduce(family):
+    queries = make_queries(family, seed=5, count=10)
+    assert queries == make_queries(family, seed=5, count=10)
+    assert queries != make_queries(family, seed=6, count=10)
+    for query in queries:
+        parse(query)  # must be valid concrete syntax
+        RPQ(query)
+    bounded = make_queries(family, seed=5, count=10, include_starred=False)
+    assert all("*" not in query for query in bounded)
+
+
+# ----------------------------------------------------------------------
+# Family shape invariants
+# ----------------------------------------------------------------------
+
+
+def test_chain_is_a_single_path():
+    db = make_graph("chain", seed=9, edges=40)
+    assert db.num_edges == 40
+    assert db.num_nodes == 41
+    for source, _label, target in db.edges():
+        assert db.node_id(target) == db.node_id(source) + 1
+
+
+def test_grid_is_a_complete_lattice():
+    db = make_graph("grid", seed=9, edges=100)
+    # Recover the column count from n0's down-edge (d jumps one row).
+    down_targets = [t for label, t in db.out_edges("n0") if label == "d"]
+    assert len(down_targets) == 1
+    cols = db.node_id(down_targets[0])
+    rows = db.num_nodes // cols
+    assert rows * cols == db.num_nodes
+    assert db.num_edges == rows * (cols - 1) + (rows - 1) * cols
+    for source, label, target in db.edges():
+        source_id, target_id = db.node_id(source), db.node_id(target)
+        if label == "r":
+            assert target_id == source_id + 1
+            assert source_id % cols < cols - 1  # never wraps a row
+        else:
+            assert label == "d"
+            assert target_id == source_id + cols
+
+
+def test_layered_dag_edges_advance_exactly_one_layer():
+    db = make_graph("layered_dag", seed=9, edges=150)
+    width = isqrt(db.num_nodes)
+    assert width * width == db.num_nodes  # layers == width by construction
+    for source, _label, target in db.edges():
+        source_id, target_id = db.node_id(source), db.node_id(target)
+        assert source_id < target_id  # topological by interning order
+        assert target_id // width == source_id // width + 1
+
+
+def test_scale_free_grows_hubs():
+    """Preferential attachment must yield a hub-dominated degree skew."""
+    db = make_graph("scale_free", seed=9, edges=3000)
+    degree: dict[str, int] = {}
+    for source, _label, target in db.edges():
+        degree[source] = degree.get(source, 0) + 1
+        degree[target] = degree.get(target, 0) + 1
+    mean = 2 * db.num_edges / db.num_nodes
+    assert max(degree.values()) >= 4 * mean
+
+
+# ----------------------------------------------------------------------
+# Bundles, views, canonical bytes
+# ----------------------------------------------------------------------
+
+
+def test_make_workload_bundles_match_components():
+    workload = make_workload("grid", seed=4, edges=60, queries=5)
+    assert workload.family == "grid"
+    assert graph_signature(workload.graph) == graph_signature(
+        make_graph("grid", seed=4, edges=60)
+    )
+    assert workload.queries == make_queries("grid", seed=4, count=5)
+    assert workload.views == make_views("grid", seed=4)
+    assert "grid" in repr(workload)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_views_cover_every_label_elementarily(family):
+    views = dict(make_views(family, seed=2))
+    labels = {label for _s, label, _t in make_graph(family, 2, edges=30).edges()}
+    for label in labels:
+        assert views.get(f"v_{label}") == label
+    for definition in views.values():
+        parse(definition)
+
+
+def test_graph_triples_are_sorted_and_complete():
+    db = make_graph("scale_free", seed=1, edges=50)
+    triples = list(graph_triples(db))
+    assert triples == sorted(triples)
+    assert len(triples) == db.num_edges
+
+
+def test_signature_covers_interning_order():
+    """Two graphs with equal edge sets but different node interning order
+    must not share a signature (the engine sees different dense ids)."""
+    from repro.rpq import GraphDB
+
+    forward = GraphDB(nodes=["x", "y"], edges=[("x", "a", "y")])
+    backward = GraphDB(nodes=["y", "x"], edges=[("x", "a", "y")])
+    assert graph_signature(forward) != graph_signature(backward)
+
+
+def test_bad_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_graph("mystery", seed=0)
+    with pytest.raises(ValueError):
+        make_graph("chain", seed=0, edges=0)
+    with pytest.raises(ValueError):
+        make_queries("chain", seed=0, count=0)
+    with pytest.raises(ValueError):
+        make_views("mystery", seed=0)

@@ -107,3 +107,108 @@ class TestPlans:
         assert not session.is_exact("a+b")
         # Only the view-expressible half of the union is answerable.
         assert session.answer("a+b") == frozenset({("u", "v"), ("w", "v")})
+
+
+class TestParallelism:
+    """The ``parallelism`` knob: sharded answers, invalidation, fallback."""
+
+    def _parallel_session(self, store, views, theory, **kwargs):
+        kwargs.setdefault("parallelism", 3)
+        return QuerySession(store, views, theory, **kwargs)
+
+    def test_sharded_answers_match_sequential(self, store, views, theory):
+        plain = QuerySession(store, views, theory)
+        sharded = self._parallel_session(store, views, theory)
+        for query in ("a.b", "a*", "a+b"):
+            assert sharded.answer(query) == plain.answer(query)
+        assert sharded.answer_from("a.b", "u") == plain.answer_from("a.b", "u")
+        assert sharded.answer_pair("a.b", "u", "z") == plain.answer_pair(
+            "a.b", "u", "z"
+        )
+        assert sharded.stats["parallel_sweeps"] >= 5
+        assert "parallel=on" in repr(sharded)
+
+    def test_pool_workers_in_session(self, store, views, theory):
+        sharded = self._parallel_session(store, views, theory, workers=2)
+        assert sharded.answer("a.b") == frozenset({("u", "z"), ("w", "z")})
+        assert sharded.stats["parallel_sweeps"] == 1
+
+    def test_shard_partition_tracks_store_version(self, store, views, theory):
+        sharded = self._parallel_session(store, views, theory)
+        assert sharded.answer("a.b") == frozenset({("u", "z"), ("w", "z")})
+        first = sharded._evaluator
+        store.add("q2", "v", "z2")
+        assert sharded.answer("a.b") == frozenset(
+            {("u", "z"), ("w", "z"), ("u", "z2"), ("w", "z2")}
+        )
+        assert sharded._evaluator is not first  # rebuilt for the new version
+
+    def test_parallelism_below_two_stays_sequential(self, store, views, theory):
+        session = QuerySession(store, views, theory, parallelism=1)
+        session.answer("a.b")
+        assert session.stats["parallel_sweeps"] == 0
+        assert "parallel" not in repr(session)
+
+    def test_worker_fault_falls_back_and_session_stays_usable(
+        self, store, views, theory
+    ):
+        """A worker dying mid-sweep (injected through a real process
+        pool) must degrade the session to sequential evaluation — same
+        answers, no hang, parallelism off for the session's lifetime."""
+        from repro.rpq.sharded import ParallelEvaluator
+
+        expected = QuerySession(store, views, theory).answer("a.b")
+        sharded = self._parallel_session(store, views, theory, workers=2)
+        # Plant a faulty evaluator for the current version, as if the
+        # next sweep's worker were about to die.
+        sharded._evaluator = ParallelEvaluator(
+            store.graph, num_shards=3, workers=2, _fail_shards=[1]
+        )
+        sharded._evaluator_version = store.version
+        assert sharded.answer("a.b") == expected
+        assert sharded.stats["parallel_failures"] == 1
+        assert sharded.stats["parallel_sweeps"] == 0
+        assert "parallel=off" in repr(sharded)
+        # Still usable, now on the sequential engine.
+        assert sharded.answer_from("a.b", "u") == frozenset({"z"})
+        assert sharded.answer_pair("a.b", "u", "z")
+        assert sharded.stats["parallel_failures"] == 1
+
+    def test_sequential_path_fault_also_degrades(
+        self, store, views, theory, monkeypatch
+    ):
+        """workers=1 faults travel the same typed-error contract."""
+        import repro.rpq.sharded as sharded_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel bug")
+
+        monkeypatch.setattr(sharded_mod, "_sweep_shard", boom)
+        session = self._parallel_session(store, views, theory, workers=1)
+        assert session.answer("a.b") == frozenset({("u", "z"), ("w", "z")})
+        assert session.stats["parallel_failures"] == 1
+
+    def test_close_releases_pool_and_session_stays_usable(
+        self, store, views, theory
+    ):
+        with self._parallel_session(store, views, theory, workers=2) as session:
+            expected = session.answer("a.b")
+            assert session._evaluator is not None
+        assert session._evaluator is None  # context exit released it
+        assert session.answer_pair("a.b", "u", "z")  # rebuilt on demand
+        assert session.answer("a.b") == expected
+
+    def test_single_source_fault_falls_back_too(
+        self, store, views, theory, monkeypatch
+    ):
+        """answer_from/answer_pair honour the same degradation contract
+        as answer — a sweep fault never escapes the session."""
+        import repro.rpq.sharded as sharded_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel bug")
+
+        monkeypatch.setattr(sharded_mod, "_single_source_sweep", boom)
+        session = self._parallel_session(store, views, theory)
+        assert session.answer_from("a.b", "u") == frozenset({"z"})
+        assert session.stats["parallel_failures"] == 1

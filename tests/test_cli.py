@@ -267,6 +267,123 @@ class TestAnswer:
             )
 
 
+class TestAnswerSharded:
+    @pytest.fixture
+    def tuples(self, tmp_path):
+        path = tmp_path / "tuples.tsv"
+        path.write_text("q1\tu\tv\nq1\tw\tv\nq2\tv\tz\n")
+        return str(path)
+
+    BASE = ["answer", "--query", "a.b", "--view", "q1=a", "--view", "q2=b"]
+
+    def test_shards_and_workers_give_identical_answers(self, tuples, capsys):
+        code = main([*self.BASE, "--extensions", tuples])
+        plain = capsys.readouterr().out
+        assert code == 0
+        code = main(
+            [*self.BASE, "--extensions", tuples, "--shards", "3", "--workers", "2"]
+        )
+        sharded = capsys.readouterr().out
+        assert code == 0
+        assert sharded == plain
+
+    def test_sharded_pair_mode(self, tuples, capsys):
+        code = main(
+            [*self.BASE, "--extensions", tuples, "--shards", "4", "--pair", "u", "z"]
+        )
+        assert code == 0
+        assert "answer" in capsys.readouterr().out
+
+    def test_invalid_shard_and_worker_counts_rejected(self, tuples):
+        with pytest.raises(SystemExit, match="--shards"):
+            main([*self.BASE, "--extensions", tuples, "--shards", "0"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main([*self.BASE, "--extensions", tuples, "--workers", "0"])
+
+
+class TestWorkload:
+    def test_graph_tsv_feeds_eval(self, tmp_path, capsys):
+        graph = tmp_path / "graph.tsv"
+        code = main(
+            [
+                "workload",
+                "--family", "grid",
+                "--seed", "7",
+                "--edges", "24",
+                "--graph-out", str(graph),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "grid seed=7" in err
+        # The emitted TSV is directly consumable by `repro eval`.
+        code = main(["eval", "--graph", str(graph), "--query", "r.d"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "answers" in captured.err
+
+    def test_stdout_graph_queries_and_signature(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--family", "chain",
+                "--seed", "3",
+                "--edges", "5",
+                "--num-queries", "2",
+                "--signature",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len([l for l in captured.out.splitlines() if "\t" in l]) == 5
+        assert sum(l.startswith("# query: ") for l in captured.out.splitlines()) == 2
+        assert "# signature: " in captured.err
+
+    def test_queries_out_file_feeds_rewrite_batch(self, tmp_path, capsys):
+        graph = tmp_path / "graph.tsv"
+        queries = tmp_path / "queries.txt"
+        main(
+            [
+                "workload",
+                "--family", "scale_free",
+                "--seed", "1",
+                "--edges", "30",
+                "--graph-out", str(graph),
+                "--num-queries", "3",
+                "--queries-out", str(queries),
+            ]
+        )
+        capsys.readouterr()
+        assert len(queries.read_text().splitlines()) == 3
+        code = main(
+            [
+                "rewrite",
+                "--batch", str(queries),
+                "--view", "v_a=a",
+                "--view", "v_b=b",
+                "--view", "v_c=c",
+            ]
+        )
+        assert code == 0
+        assert "3 queries" in capsys.readouterr().err
+
+    def test_unknown_family_and_bad_edges_rejected(self):
+        with pytest.raises(SystemExit, match="unknown --family"):
+            main(["workload", "--family", "torus"])
+        with pytest.raises(SystemExit, match="--edges"):
+            main(["workload", "--family", "chain", "--edges", "0"])
+
+    def test_queries_out_without_num_queries_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--num-queries"):
+            main(
+                [
+                    "workload",
+                    "--family", "chain",
+                    "--queries-out", str(tmp_path / "q.txt"),
+                ]
+            )
+
+
 class TestServeBench:
     def test_tiny_run_reports_speedups(self, capsys):
         code = main(
