@@ -26,6 +26,9 @@ Examples::
     python -m repro answer --query 'a.b' --view q1=a --view q2=b \
         --extensions tuples.tsv --shards 8 --workers 4   # sharded evaluation
 
+    python -m repro answer --query 'a.b' --view q1=a --view q2=b \
+        --extensions tuples.tsv --stats   # serving counters as JSON on stderr
+
     python -m repro workload --family grid --seed 7 --edges 2000 \
         --graph-out grid.tsv --num-queries 5 --queries-out queries.txt
 
@@ -183,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="evaluate up to W shards in parallel worker processes "
         "(default 1: the sequential per-shard fallback)",
+    )
+    answer.add_argument(
+        "--stats",
+        action="store_true",
+        help="after answering, print per-query session stats plus the "
+        "engine's compile-cache and plan-cache counters as one JSON "
+        "object on stderr (operational visibility; stdout stays "
+        "machine-parseable answers)",
     )
 
     workload = sub.add_parser(
@@ -449,6 +460,7 @@ def _cmd_answer(args: argparse.Namespace) -> int:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
 
     exit_code = 0
+    session_stats = []
     for query in args.query:
         domain = views_alphabet | set(RPQ(query).alphabet())
         if not domain:
@@ -469,17 +481,40 @@ def _cmd_answer(args: argparse.Namespace) -> int:
                 found = session.answer_pair(query, source, target)
                 print("  answer" if found else "  no answer")
                 exit_code = max(exit_code, 0 if found else 1)
-                continue
-            if args.source is not None:
+                answers = None
+            elif args.source is not None:
                 answers = sorted(
                     (args.source, y)
                     for y in session.answer_from(query, args.source)
                 )
             else:
                 answers = sorted(session.answer(query))
-            for x, y in answers:
-                print(f"  {x}\t{y}")
-            print(f"  # {len(answers)} answers", file=sys.stderr)
+            if answers is not None:
+                for x, y in answers:
+                    print(f"  {x}\t{y}")
+                print(f"  # {len(answers)} answers", file=sys.stderr)
+            session_stats.append({"query": query, "stats": dict(session.stats)})
+    if args.stats:
+        import json
+
+        from .rpq import compile_cache_info
+
+        print(
+            json.dumps(
+                {
+                    "store": {
+                        "version": store.version,
+                        "tuples": store.num_tuples,
+                        "log_size": store.log_size,
+                    },
+                    "sessions": session_stats,
+                    "compile_cache": compile_cache_info(),
+                    "plan_cache": dict(plans.stats),
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
     return exit_code
 
 

@@ -20,8 +20,12 @@ view-based rewriting/answering:
   cut-edge frontiers and an exact shard-parallel all-pairs sweep;
 * :func:`make_workload` and friends (:mod:`repro.rpq.workload`) — seeded
   graph families (chain, grid, scale-free, layered DAG) with matching
-  query/view mixes, shared by benchmarks and the differential fuzz
-  harness.
+  query/view mixes and seeded update streams
+  (:func:`make_update_stream`), shared by benchmarks and the
+  differential fuzz harness;
+* :class:`DeltaSweepState` (:mod:`repro.rpq.incremental`) — retained
+  all-pairs sweep state that absorbs inserted edges by semi-naive delta
+  re-evaluation, bit-identical to a full recompute.
 
 For serving many queries over evolving view extensions — materialized
 view storage, persistent rewrite-plan caching, per-session evaluation
@@ -58,6 +62,7 @@ from .generalized import (
     rewrite_gpq,
 )
 from .graphdb import GraphDB, path_graph, random_graph
+from .incremental import DeltaSweepState
 from .partial import (
     PartialRPQRewriting,
     atomic_view_name,
@@ -70,10 +75,12 @@ from .theory import Theory
 from .views import RPQViews, view_graph
 from .workload import (
     FAMILIES,
+    UpdateOp,
     Workload,
     graph_signature,
     make_graph,
     make_queries,
+    make_update_stream,
     make_views,
     make_workload,
 )
@@ -99,10 +106,13 @@ __all__ = [
     "ParallelEvaluator",
     "ShardedGraphDB",
     "ShardedEvaluationError",
+    "DeltaSweepState",
     "FAMILIES",
+    "UpdateOp",
     "Workload",
     "make_graph",
     "make_queries",
+    "make_update_stream",
     "make_views",
     "make_workload",
     "graph_signature",

@@ -12,7 +12,10 @@ adjacency, frontier batching):
    actually occur in the database.  :class:`~repro.rpq.formulas.Formula`
    symbols are resolved against the :class:`~repro.rpq.theory.Theory`
    exactly once, at compile time, so the inner loop never evaluates a
-   formula.  Compilation results are memoized in a small LRU cache keyed
+   formula.  States that cannot lie on an accepting run are trimmed
+   (:func:`_trim_useless_states` — complete rewriting DFAs carry a dead
+   sink that would otherwise make the product sweep quadratic in the
+   graph).  Compilation results are memoized in a small LRU cache keyed
    on (automaton, theory, label domain).
 
 2. **Index by label.**  :class:`~repro.rpq.graphdb.GraphDB` stores its
@@ -73,7 +76,14 @@ class CompiledAutomaton:
     half of the bidirectional search.
     """
 
-    __slots__ = ("table", "rtable", "initials", "finals", "accepts_epsilon")
+    __slots__ = (
+        "table",
+        "rtable",
+        "initials",
+        "finals",
+        "accepts_epsilon",
+        "num_states",
+    )
 
     def __init__(
         self,
@@ -86,25 +96,20 @@ class CompiledAutomaton:
         self.finals = finals
         self.accepts_epsilon = bool(initials & finals)
         rtable: dict[int, dict[Hashable, set[int]]] = {}
+        states = set(initials) | set(finals)
         for state, row in table.items():
+            states.add(state)
             for label, next_states in row.items():
+                states |= next_states
                 for next_state in next_states:
                     rtable.setdefault(next_state, {}).setdefault(
                         label, set()
                     ).add(state)
+        self.num_states = len(states)
         self.rtable: dict[int, dict[Hashable, frozenset[int]]] = {
             state: {label: frozenset(srcs) for label, srcs in row.items()}
             for state, row in rtable.items()
         }
-
-    @property
-    def num_states(self) -> int:
-        states = set(self.initials) | set(self.finals)
-        for state, row in self.table.items():
-            states.add(state)
-            for next_states in row.values():
-                states |= next_states
-        return len(states)
 
     def __repr__(self) -> str:
         return (
@@ -200,11 +205,71 @@ def compile_automaton(
                 label: frozenset(targets)
                 for label, targets in compiled_row.items()
             }
-    compiled = CompiledAutomaton(table, nfa.initials, nfa.finals)
+    table, initials, finals = _trim_useless_states(
+        table, nfa.initials, nfa.finals
+    )
+    compiled = CompiledAutomaton(table, initials, finals)
     _cache[key] = compiled
     if len(_cache) > _CACHE_MAXSIZE:
         _cache.popitem(last=False)
     return compiled
+
+
+def _trim_useless_states(
+    table: dict[int, dict[Hashable, frozenset[int]]],
+    initials: frozenset[int],
+    finals: frozenset[int],
+) -> tuple[
+    dict[int, dict[Hashable, frozenset[int]]], frozenset[int], frozenset[int]
+]:
+    """Drop states that cannot lie on any accepting run.
+
+    Rewriting DFAs arrive *complete* (the Theorem 2.2 complementation
+    needs totality), so they carry a dead sink looping on every symbol.
+    Left in the table, the sink turns the product sweep quadratic: every
+    source saturates ``reached[sink]`` across the whole graph for
+    answers that can never materialize.  Keeping only states both
+    reachable from an initial state and co-reachable to a final one
+    leaves the answer set untouched while the sweep's work drops to the
+    useful product — the difference between seconds and minutes on a
+    50k-edge store.  Initial-and-final states are always useful, so the
+    epsilon-acceptance bit survives trimming unchanged.
+    """
+    forward = set(initials)
+    stack = list(initials)
+    while stack:
+        state = stack.pop()
+        for next_states in table.get(state, {}).values():
+            for next_state in next_states:
+                if next_state not in forward:
+                    forward.add(next_state)
+                    stack.append(next_state)
+    predecessors: dict[int, set[int]] = {}
+    for state, row in table.items():
+        for next_states in row.values():
+            for next_state in next_states:
+                predecessors.setdefault(next_state, set()).add(state)
+    backward = set(finals)
+    stack = list(finals)
+    while stack:
+        state = stack.pop()
+        for prev_state in predecessors.get(state, ()):
+            if prev_state not in backward:
+                backward.add(prev_state)
+                stack.append(prev_state)
+    useful = forward & backward
+    trimmed: dict[int, dict[Hashable, frozenset[int]]] = {}
+    for state, row in table.items():
+        if state not in useful:
+            continue
+        trimmed_row = {
+            label: kept
+            for label, next_states in row.items()
+            if (kept := next_states & useful)
+        }
+        if trimmed_row:
+            trimmed[state] = trimmed_row
+    return trimmed, initials & useful, finals & useful
 
 
 # ----------------------------------------------------------------------
@@ -257,16 +322,22 @@ def evaluate_all_sorted(
     ]
 
 
-def _all_pairs_ids(
+def _seed_all_pairs(
     db: GraphDB, compiled: CompiledAutomaton
-) -> list[tuple[int, int]]:
-    """The all-pairs sweep, decoded to dense-id pairs (unordered)."""
+) -> tuple[dict[int, list[int]], dict[int, dict[int, int]], list[int]]:
+    """Fresh ``(reached, frontier, answer_masks)`` for a full sweep.
+
+    ``reached[state][node_id]`` is the bitmask of source ids known to
+    reach the ``(state, node)`` product point; the frontier carries the
+    seed deltas of the first round; ``answer_masks[node]`` starts at the
+    epsilon answers (the diagonal) when the automaton accepts the empty
+    word.  Shared by :func:`_all_pairs_ids` and by
+    :class:`repro.rpq.incremental.DeltaSweepState`, whose retained state
+    is exactly this triple after :func:`_sweep_to_fixpoint` drained the
+    frontier.
+    """
     num_nodes = db.num_nodes
-    if num_nodes == 0 or not compiled.initials:
-        return []
-    finals = compiled.finals
     bits = [1 << v for v in range(num_nodes)]
-    # reached[state][node_id] = bitmask of source ids reaching (state, node)
     reached: dict[int, list[int]] = {}
     frontier: dict[int, dict[int, int]] = {}
     for state in compiled.initials:
@@ -286,7 +357,27 @@ def _all_pairs_ids(
         if bucket:
             frontier[state] = bucket
     answer_masks = list(bits) if compiled.accepts_epsilon else [0] * num_nodes
+    return reached, frontier, answer_masks
 
+
+def _sweep_to_fixpoint(
+    db: GraphDB,
+    compiled: CompiledAutomaton,
+    reached: dict[int, list[int]],
+    frontier: dict[int, dict[int, int]],
+    answer_masks: list[int],
+) -> None:
+    """Run the macro-frontier loop until the frontier drains.
+
+    Mutates ``reached`` and ``answer_masks`` in place.  The loop is
+    *resumable*: it only requires that every frontier delta is already
+    recorded in ``reached`` — whether the frontier came from a fresh
+    :func:`_seed_all_pairs` or from the inserted-edge deltas of an
+    incremental update, the masks saturate to the same least fixpoint
+    (semi-naive evaluation is confluent), which is what makes
+    delta-driven re-evaluation bit-identical to a full recompute.
+    """
+    finals = compiled.finals
     while frontier:
         next_frontier: dict[int, dict[int, int]] = {}
         for state, node_sources in frontier.items():
@@ -312,7 +403,9 @@ def _all_pairs_ids(
                 for next_state in next_states:
                     state_reached = reached.get(next_state)
                     if state_reached is None:
-                        state_reached = reached[next_state] = [0] * num_nodes
+                        state_reached = reached[next_state] = [0] * len(
+                            answer_masks
+                        )
                     bucket = next_frontier.get(next_state)
                     if bucket is None:
                         bucket = next_frontier[next_state] = {}
@@ -333,6 +426,9 @@ def _all_pairs_ids(
             state: bucket for state, bucket in next_frontier.items() if bucket
         }
 
+
+def _decode_answer_masks(answer_masks: list[int]) -> list[tuple[int, int]]:
+    """Unpack per-target source bitmasks into dense-id pairs (unordered)."""
     id_pairs: list[tuple[int, int]] = []
     for target_id, mask in enumerate(answer_masks):
         while mask:
@@ -340,6 +436,17 @@ def _all_pairs_ids(
             id_pairs.append((low_bit.bit_length() - 1, target_id))
             mask ^= low_bit
     return id_pairs
+
+
+def _all_pairs_ids(
+    db: GraphDB, compiled: CompiledAutomaton
+) -> list[tuple[int, int]]:
+    """The all-pairs sweep, decoded to dense-id pairs (unordered)."""
+    if db.num_nodes == 0 or not compiled.initials:
+        return []
+    reached, frontier, answer_masks = _seed_all_pairs(db, compiled)
+    _sweep_to_fixpoint(db, compiled, reached, frontier, answer_masks)
+    return _decode_answer_masks(answer_masks)
 
 
 def evaluate_single_source(

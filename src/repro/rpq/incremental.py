@@ -1,0 +1,251 @@
+"""Incremental all-pairs answer maintenance (delta-driven semi-naive).
+
+The engine's all-pairs sweep (:func:`repro.rpq.engine.evaluate_all`) is
+a semi-naive fixpoint: per automaton state it saturates a per-node
+bitmask of *source* ids, pushing only newly added sources across
+label-indexed edges until nothing changes.  That computation is monotone
+in the edge set — adding an edge can only *add* bits — so its final
+state is worth keeping: when an edge ``(u, label, v)`` is inserted, the
+answers of the updated graph are the least fixpoint *containing* the old
+one, and it can be reached by seeding a new frontier from the inserted
+edge alone instead of re-sweeping the whole graph.  This is the classic
+semi-naive delta-evaluation discipline of Datalog-style RPQ engines
+(arXiv:1511.00938) combined with reuse of previously computed
+reachability (arXiv:2111.06918), applied to this repo's bitmask product
+sweep.
+
+:class:`DeltaSweepState` retains, for one (graph, compiled automaton)
+pair, the sweep's ``reached`` matrices and per-target answer masks.
+:meth:`DeltaSweepState.apply_insertions` absorbs a batch of inserted
+edges: for each new edge and each automaton state whose row matches the
+edge's label, the settled source mask at ``(state, u)`` is pushed into
+the successors at ``v`` (plus ``u``'s own seed bit when the state is
+initial and ``u`` just gained its first matching out-edge), and the
+resulting deltas resume the engine's own fixpoint loop
+(:func:`repro.rpq.engine._sweep_to_fixpoint`).  Because the loop reads
+the *live* adjacency, deltas produced later in the same run flow through
+the new edges automatically; only already-settled masks need the manual
+re-push.  The result is **bit-identical** to rebuilding the state from
+scratch on the updated graph — ``tests/rpq/test_incremental.py`` asserts
+mask-level equality after every insertion, not just equal answer sets.
+
+Deletions are *not* absorbed: removing an edge can invalidate arbitrary
+bits, and recomputing which would cost a full sweep anyway.  Callers
+(:class:`repro.service.session.QuerySession`) drop the state and rebuild
+on any delta containing a deletion, as on any state too stale to replay
+(:meth:`repro.service.store.MaterializedViewStore.delta_since` returning
+``None``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from . import engine as _engine
+from .engine import CompiledAutomaton
+from .graphdb import GraphDB
+
+__all__ = ["DeltaSweepState"]
+
+Pair = tuple[Hashable, Hashable]
+Edge = tuple[Hashable, Hashable, Hashable]  # (source, label, target)
+
+
+class DeltaSweepState:
+    """Retained all-pairs sweep state, resumable from inserted edges.
+
+    Construction runs one full sweep of ``compiled`` over ``db`` and
+    keeps its fixpoint alive; :meth:`apply_insertions` then advances the
+    fixpoint from edge deltas in time proportional to the *consequences*
+    of the inserted edges, not the size of the graph.  The state is
+    valid exactly as long as
+
+    * ``db`` is the same live graph object (node interning order is the
+      bit layout of every mask), and
+    * ``compiled`` is the same compiled automaton (its label table is
+      the product relation being saturated) — a label-domain change
+      recompiles the automaton, so callers compare identities;
+
+    and as long as no edge the state has seen is *removed* — deletions
+    must drop the state (see the module docstring).
+    """
+
+    __slots__ = (
+        "db",
+        "compiled",
+        "num_nodes",
+        "reached",
+        "answer_masks",
+        "edges_applied",
+        "_pairs",
+        "_masks_snapshot",
+    )
+
+    def __init__(self, db: GraphDB, compiled: CompiledAutomaton):
+        self.db = db
+        self.compiled = compiled
+        self.num_nodes = db.num_nodes
+        reached, frontier, answer_masks = _engine._seed_all_pairs(db, compiled)
+        _engine._sweep_to_fixpoint(db, compiled, reached, frontier, answer_masks)
+        self.reached = reached
+        self.answer_masks = answer_masks
+        self.edges_applied = 0
+        # The decoded answer set is maintained incrementally as well:
+        # masks only ever gain bits, so answers() decodes the per-target
+        # xor against this snapshot instead of re-unpacking every mask —
+        # on a store with tens of thousands of answers, decode would
+        # otherwise dominate the cost of absorbing a one-tuple delta.
+        self._pairs: set[Pair] = set()
+        self._masks_snapshot: list[int] = [0] * self.num_nodes
+        self._sync_pairs()
+
+    # ------------------------------------------------------------------
+    # Delta absorption
+    # ------------------------------------------------------------------
+    def apply_insertions(self, edges: Iterable[Edge]) -> int:
+        """Absorb inserted edges, resuming the sweep to the new fixpoint.
+
+        ``edges`` are ``(source, label, target)`` triples that have
+        **already been added** to the graph (the sweep reads the live
+        adjacency, so the new edges must be indexed before the frontier
+        runs).  Triples are deduplication-tolerant: re-applying an edge
+        the state has already absorbed is a no-op.  Returns the number
+        of edge triples processed and accumulates it in
+        :attr:`edges_applied`.
+        """
+        db = self.db
+        compiled = self.compiled
+        if db.num_nodes > self.num_nodes:
+            self._grow(db.num_nodes)
+        num_nodes = self.num_nodes
+        table = compiled.table
+        initials = compiled.initials
+        finals = compiled.finals
+        reached = self.reached
+        answer_masks = self.answer_masks
+        node_id = db.node_id
+        frontier: dict[int, dict[int, int]] = {}
+        applied = 0
+        for source, label, target in edges:
+            applied += 1
+            u = node_id(source)
+            v = node_id(target)
+            for state, row in table.items():
+                next_states = row.get(label)
+                if next_states is None:
+                    continue
+                state_reached = reached.get(state)
+                if state_reached is None:
+                    state_reached = reached[state] = [0] * num_nodes
+                if state in initials:
+                    # u now has an out-edge matching this initial row, so
+                    # it becomes a seed source if it wasn't one already;
+                    # the frontier pushes the seed through u's *other*
+                    # matching edges too (there are none on first seeding,
+                    # but re-applied edges keep this idempotent).
+                    bit = 1 << u
+                    if not state_reached[u] & bit:
+                        state_reached[u] |= bit
+                        bucket = frontier.get(state)
+                        if bucket is None:
+                            bucket = frontier[state] = {}
+                        bucket[u] = bucket.get(u, 0) | bit
+                sources = state_reached[u]
+                if not sources:
+                    continue
+                # Push the settled sources at (state, u) across the new
+                # edge; future deltas arriving at (state, u) cross it via
+                # the live adjacency inside the fixpoint loop.
+                for next_state in next_states:
+                    next_reached = reached.get(next_state)
+                    if next_reached is None:
+                        next_reached = reached[next_state] = [0] * num_nodes
+                    delta = sources & ~next_reached[v]
+                    if not delta:
+                        continue
+                    next_reached[v] |= delta
+                    bucket = frontier.get(next_state)
+                    if bucket is None:
+                        bucket = frontier[next_state] = {}
+                    bucket[v] = bucket.get(v, 0) | delta
+                    if next_state in finals:
+                        answer_masks[v] |= delta
+        if frontier:
+            _engine._sweep_to_fixpoint(
+                db, compiled, reached, frontier, answer_masks
+            )
+        self.edges_applied += applied
+        return applied
+
+    def _grow(self, num_nodes: int) -> None:
+        """Widen the per-node arrays after the graph interned new nodes.
+
+        New ids extend every mask row with zero bits; under an
+        epsilon-accepting automaton each new node also contributes its
+        reflexive answer, exactly as a full sweep would seed it.
+        """
+        extra = num_nodes - self.num_nodes
+        for state_reached in self.reached.values():
+            state_reached.extend([0] * extra)
+        if self.compiled.accepts_epsilon:
+            self.answer_masks.extend(
+                1 << v for v in range(self.num_nodes, num_nodes)
+            )
+        else:
+            self.answer_masks.extend([0] * extra)
+        self._masks_snapshot.extend([0] * extra)
+        self.num_nodes = num_nodes
+
+    # ------------------------------------------------------------------
+    # Answers (decoded from the retained masks)
+    # ------------------------------------------------------------------
+    def _sync_pairs(self) -> None:
+        """Fold newly set answer bits into the decoded pair set.
+
+        Masks are monotone under insertions, so per target the xor
+        against the snapshot is exactly the new sources; unchanged
+        targets (the overwhelming majority after a small delta) cost one
+        int comparison each.
+        """
+        node_at = self.db.node_at
+        pairs = self._pairs
+        snapshot = self._masks_snapshot
+        for target_id, (mask, seen) in enumerate(
+            zip(self.answer_masks, snapshot)
+        ):
+            if mask == seen:
+                continue
+            new_bits = mask & ~seen
+            target = node_at(target_id)
+            while new_bits:
+                low_bit = new_bits & -new_bits
+                pairs.add((node_at(low_bit.bit_length() - 1), target))
+                new_bits ^= low_bit
+            snapshot[target_id] = mask
+
+    def answer_ids(self) -> list[tuple[int, int]]:
+        """The current answers as dense-id pairs (unordered)."""
+        return _engine._decode_answer_masks(self.answer_masks)
+
+    def answers(self) -> frozenset[Pair]:
+        """The current answer set, decoded to node objects."""
+        self._sync_pairs()
+        return frozenset(self._pairs)
+
+    def answers_sorted(self) -> list[Pair]:
+        """Answers sorted by ``(node_id(x), node_id(y))`` — byte-identical
+        to :func:`repro.rpq.engine.evaluate_all_sorted` on the same graph."""
+        id_pairs = self.answer_ids()
+        id_pairs.sort()
+        node_at = self.db.node_at
+        return [
+            (node_at(source_id), node_at(target_id))
+            for source_id, target_id in id_pairs
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaSweepState(nodes={self.num_nodes}, "
+            f"states={len(self.reached)}, "
+            f"edges_applied={self.edges_applied})"
+        )

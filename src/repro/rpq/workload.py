@@ -1,4 +1,4 @@
-"""Seeded workload generation: named graph families plus query/view mixes.
+"""Seeded workload generation: graph families, query/view mixes, update streams.
 
 The fixtures of the unit suite stop at ~1k nodes; the sharded evaluator
 (:mod:`repro.rpq.sharded`), the benchmarks, and the randomized
@@ -46,15 +46,17 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Hashable, Iterator
+from typing import Hashable, Iterable, Iterator
 
 from .graphdb import GraphDB
 
 __all__ = [
     "FAMILIES",
+    "UpdateOp",
     "Workload",
     "make_graph",
     "make_queries",
+    "make_update_stream",
     "make_views",
     "make_workload",
     "graph_signature",
@@ -300,6 +302,136 @@ def make_workload(
         ),
         views=make_views(family, seed),
     )
+
+
+# ----------------------------------------------------------------------
+# Seeded update streams (the evolving-data half of a workload)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One tuple-level store mutation in a seeded update stream.
+
+    ``op`` is ``"insert"`` or ``"delete"``; the remaining fields are the
+    ``(symbol, source, target)`` tuple it applies to — view-extension
+    tuples when the stream feeds a
+    :class:`~repro.service.store.MaterializedViewStore` (the default
+    symbols are the family's elementary view names), or plain edges when
+    ``symbols`` is set to the family's edge labels.
+    """
+
+    op: str
+    symbol: str
+    source: str
+    target: str
+
+
+def make_update_stream(
+    family: str,
+    seed: int,
+    *,
+    count: int,
+    symbols: tuple[str, ...] | None = None,
+    base: "dict[str, Iterable[tuple[str, str]]] | None" = None,
+    delete_fraction: float = 0.0,
+    fresh_node_fraction: float = 0.1,
+) -> tuple[UpdateOp, ...]:
+    """A seeded stream of ``count`` insert/delete tuple operations.
+
+    The stream honours the module's determinism contract — a pure
+    function of its arguments, byte-identical in every process — and is
+    *consistent by construction*: every insert targets a tuple not
+    currently present (given ``base`` and the stream's own prior ops)
+    and every delete targets one that is, so replaying the stream
+    against a store loaded with ``base`` makes each op effective exactly
+    once.  That is what lets the incremental-maintenance benchmark and
+    the differential fuzz harness share one generator.
+
+    ``symbols`` defaults to the family's elementary view names
+    (``v_<label>``, matching :func:`make_views`).  ``base`` seeds the
+    present-tuple set (and the endpoint pool) with a store's existing
+    extensions, so deletions can hit pre-existing tuples.
+    ``delete_fraction`` is the per-op probability of a delete (when
+    anything is deletable); ``fresh_node_fraction`` is the per-endpoint
+    probability of minting a brand-new node (``u0``, ``u1``, ...) instead
+    of reusing the pool, which keeps node-universe growth exercised.
+    """
+    _check_family(family)
+    if count < 1:
+        raise ValueError("an update stream needs at least one operation")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(f"delete_fraction must be in [0, 1], got {delete_fraction}")
+    if not 0.0 <= fresh_node_fraction <= 1.0:
+        raise ValueError(
+            f"fresh_node_fraction must be in [0, 1], got {fresh_node_fraction}"
+        )
+    if symbols is None:
+        symbols = tuple(f"v_{label}" for label in _LABELS[family])
+    else:
+        symbols = tuple(symbols)
+        if not symbols:
+            raise ValueError("symbols must not be empty")
+    rng = random.Random(
+        (seed, family, "updates", count, repr(delete_fraction)).__repr__()
+    )
+    # Present tuples and the endpoint pool, in canonical (sorted) order so
+    # index-based choices are process-independent; both evolve with the
+    # stream, deterministically.
+    present: set[tuple[str, str, str]] = set()
+    if base:
+        for symbol in sorted(base):
+            for source, target in sorted(base[symbol]):
+                present.add((str(symbol), str(source), str(target)))
+    present_list = sorted(present)
+    pool = sorted({node for _s, source, target in present for node in (source, target)})
+    fresh_counter = 0
+
+    def pick_endpoint() -> str:
+        nonlocal fresh_counter
+        if not pool or rng.random() < fresh_node_fraction:
+            name = f"u{fresh_counter}"
+            fresh_counter += 1
+            return name
+        return pool[rng.randrange(len(pool))]
+
+    ops: list[UpdateOp] = []
+    for _ in range(count):
+        if present_list and rng.random() < delete_fraction:
+            index = rng.randrange(len(present_list))
+            symbol, source, target = present_list.pop(index)
+            present.discard((symbol, source, target))
+            ops.append(UpdateOp("delete", symbol, source, target))
+            continue
+        candidate = None
+        for _attempt in range(32):
+            attempt_tuple = (
+                symbols[rng.randrange(len(symbols))],
+                pick_endpoint(),
+                pick_endpoint(),
+            )
+            if attempt_tuple not in present:
+                candidate = attempt_tuple
+                break
+        while candidate is None or candidate in present:
+            # A dense pool can exhaust the retry budget; a minted source
+            # node makes the tuple new (modulo a base that already used
+            # ``u``-prefixed names, hence the loop).
+            fresh_source = f"u{fresh_counter}"
+            fresh_counter += 1
+            candidate = (
+                symbols[rng.randrange(len(symbols))],
+                fresh_source,
+                pool[rng.randrange(len(pool))] if pool else fresh_source,
+            )
+        symbol, source, target = candidate
+        present.add(candidate)
+        present_list.append(candidate)
+        for node in (source, target):
+            if node.startswith("u") and node not in pool:
+                pool.append(node)
+        ops.append(UpdateOp("insert", symbol, source, target))
+    return tuple(ops)
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,8 @@ halves built underneath it:
 
 * :class:`MaterializedViewStore` — versioned, incrementally updatable
   storage of view extensions on top of the label-indexed
-  :class:`~repro.rpq.graphdb.GraphDB`;
+  :class:`~repro.rpq.graphdb.GraphDB`, with a bounded change log
+  (:class:`StoreDelta`) feeding incremental answer maintenance;
 * :class:`RewritePlanCache` — compiled rewrite plans (rewriting DFA +
   ``Ad`` + ``A'``) keyed by canonical serialization and persisted to
   disk, so no process ever repeats a subset construction another process
@@ -25,10 +26,11 @@ See ``docs/architecture.md`` for the layer diagram and
 
 from .plancache import RewritePlanCache, plan_from_dict, plan_key, plan_to_dict
 from .session import QuerySession
-from .store import MaterializedViewStore, answer_on_extensions
+from .store import MaterializedViewStore, StoreDelta, answer_on_extensions
 
 __all__ = [
     "MaterializedViewStore",
+    "StoreDelta",
     "answer_on_extensions",
     "RewritePlanCache",
     "plan_key",

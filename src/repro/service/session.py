@@ -11,12 +11,21 @@ the regime the ROADMAP targets — a long-lived mediator that owns
   memoized answer sets).
 
 The cache-invalidation contract is the point: **data changes invalidate
-only evaluation state, never plans.**  A plan depends on (query, views,
-theory) alone; the per-plan compiled tables depend additionally on the
-store's label domain (they survive most updates — the engine's
-compilation LRU is keyed on the domain, which rarely changes); the
-answer memo depends on the exact store version and is dropped on any
-update.  Requests come in the three shapes of the engine:
+only evaluation state, never plans — and pure-insert data changes don't
+even invalidate evaluation state, they patch it.**  A plan depends on
+(query, views, theory) alone; the per-plan compiled tables depend
+additionally on the store's label domain (they survive most updates —
+the engine's compilation LRU is keyed on the domain, which rarely
+changes); the answer memo depends on the exact store version and is
+dropped on any update.  Underneath the memo, each plan's all-pairs
+sweep state is *retained* across versions
+(:class:`~repro.rpq.incremental.DeltaSweepState`): when the store's
+change log shows only insertions since the state's version, the next
+:meth:`QuerySession.answer` resumes the semi-naive sweep from the
+inserted tuples instead of recomputing — deletions, a compacted-away
+log, or a label-domain change fall back to the full sweep (sequential
+or sharded), bit-identical either way.  Requests come in the three
+shapes of the engine:
 :meth:`QuerySession.answer` (all pairs), :meth:`answer_from`
 (single source), and :meth:`answer_pair` (one pair, decided by the
 bidirectional search without computing the full answer set).
@@ -28,6 +37,8 @@ from typing import Hashable, Iterable, Mapping
 
 from ..automata.nfa import NFA
 from ..rpq import engine as _engine
+from ..rpq.evaluation import sort_pairs
+from ..rpq.incremental import DeltaSweepState
 from ..rpq.query import QuerySpec
 from ..rpq.rewriting import RPQRewritingResult
 from ..rpq.sharded import ParallelEvaluator, ShardedEvaluationError
@@ -72,6 +83,7 @@ class QuerySession:
         plans: RewritePlanCache | None = None,
         parallelism: int | None = None,
         workers: int = 1,
+        incremental: bool = True,
     ):
         self.store = store
         self.views = views if isinstance(views, RPQViews) else RPQViews(views)
@@ -79,6 +91,7 @@ class QuerySession:
         self.plans = plans if plans is not None else RewritePlanCache()
         self.parallelism = parallelism
         self.workers = workers
+        self.incremental = incremental
         self._evaluator: ParallelEvaluator | None = None
         self._evaluator_version = -1
         self._parallel_disabled = False
@@ -92,12 +105,20 @@ class QuerySession:
         self._plan_keys: dict[Hashable, str] = {}
         self._answers: dict[str, frozenset[Pair]] = {}
         self._answers_version = -1
+        # plan key -> (retained sweep state, store version it reflects);
+        # unlike the answer memo this survives version bumps — that is
+        # the whole point: a pure-insert delta advances the state to the
+        # new version instead of recomputing it.
+        self._delta_states: dict[str, tuple[DeltaSweepState, int]] = {}
         self.stats = {
             "requests": 0,
             "answer_memo_hits": 0,
             "invalidations": 0,
             "parallel_sweeps": 0,
             "parallel_failures": 0,
+            "incremental_updates": 0,
+            "full_recomputes": 0,
+            "delta_edges_applied": 0,
         }
 
     # ------------------------------------------------------------------
@@ -218,11 +239,69 @@ class QuerySession:
             return cached
         compiled = self._compiled(nfa)
         answers = self._evaluate(
-            lambda evaluator: evaluator.evaluate_all(compiled),
-            lambda: _engine.evaluate_all(self.store.graph, compiled),
+            lambda evaluator: self._parallel_all_pairs(evaluator, compiled),
+            lambda: self._sequential_all_pairs(key, compiled).answers(),
         )
         self._answers[key] = answers
         return answers
+
+    def answer_sorted(self, query: QuerySpec) -> list[Pair]:
+        """All answer pairs sorted by ``(node_id(x), node_id(y))``.
+
+        The same answers as :meth:`answer` in the engine's documented
+        deterministic order (the store graph's interning order), so two
+        sessions over equal stores — incremental or not, sharded or not
+        — can be compared byte for byte.
+        """
+        return sort_pairs(self.store.graph, self.answer(query))
+
+    def _parallel_all_pairs(
+        self, evaluator: ParallelEvaluator, compiled: _engine.CompiledAutomaton
+    ) -> frozenset[Pair]:
+        """All pairs on the sharded tier.  Deltas are *not* absorbed
+        here: the shard partition is rebuilt per store version anyway,
+        so every parallel answer is a full (sharded) sweep."""
+        answers = evaluator.evaluate_all(compiled)
+        self.stats["full_recomputes"] += 1
+        return answers
+
+    def _sequential_all_pairs(
+        self, key: str, compiled: _engine.CompiledAutomaton
+    ) -> DeltaSweepState:
+        """The delta-maintained sweep state for ``key``, advanced to the
+        store's current version.
+
+        Pure-insert deltas are absorbed in place
+        (:meth:`~repro.rpq.incremental.DeltaSweepState.apply_insertions`
+        resumes the fixpoint from the inserted tuples); a delta with
+        deletions, a log too stale to replay, or a changed compiled
+        automaton (the label domain moved) drops the state and rebuilds
+        it with a full sweep.  With ``incremental=False`` every call is
+        a full rebuild and nothing is retained.
+        """
+        version = self.store.version
+        graph = self.store.graph
+        entry = self._delta_states.get(key) if self.incremental else None
+        if entry is not None:
+            state, state_version = entry
+            if state.compiled is compiled and state.db is graph:
+                if state_version == version:
+                    return state
+                delta = self.store.delta_since(state_version)
+                if delta is not None and delta.pure_insertions:
+                    state.apply_insertions(
+                        (source, symbol, target)
+                        for symbol, source, target in delta.insertions
+                    )
+                    self.stats["incremental_updates"] += 1
+                    self.stats["delta_edges_applied"] += len(delta.insertions)
+                    self._delta_states[key] = (state, version)
+                    return state
+        state = DeltaSweepState(graph, compiled)
+        self.stats["full_recomputes"] += 1
+        if self.incremental:
+            self._delta_states[key] = (state, version)
+        return state
 
     def answer_from(self, query: QuerySpec, source: Hashable) -> frozenset[Hashable]:
         """All ``y`` with ``(source, y)`` in the answer (single-source sweep).

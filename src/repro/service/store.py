@@ -10,24 +10,60 @@ wraps a single :class:`~repro.rpq.graphdb.GraphDB` whose edge labels are
 the view symbols, so the engine's label-first indexes double as per-view
 indexes (one bulk set union expands a whole frontier through one view),
 and keeps the per-view pair sets alongside for exact membership and
-round-tripping.  Every successful mutation bumps a version counter, which
-is what lets :class:`~repro.service.session.QuerySession` invalidate
-cached *evaluation* state on data changes while never touching compiled
-rewrite plans (plans depend only on the query, the views, and the theory
-— not on the data).
+round-tripping.  Every successful mutation bumps a version counter and
+appends the tuple-level changes to a bounded change log
+(:meth:`MaterializedViewStore.delta_since`), which is what lets
+:class:`~repro.service.session.QuerySession` treat data changes
+precisely: compiled rewrite plans are never touched (they depend only on
+the query, the views, and the theory — not on the data), pure-insert
+deltas *patch* retained evaluation state forward
+(:class:`~repro.rpq.incremental.DeltaSweepState`), and deletions or
+compacted-away history drop that state for a full recompute.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
 from ..rpq.evaluation import ans
 from ..rpq.graphdb import GraphDB
 from ..rpq.views import view_graph
 
-__all__ = ["MaterializedViewStore", "answer_on_extensions"]
+__all__ = ["MaterializedViewStore", "StoreDelta", "answer_on_extensions"]
 
 Pair = tuple[Hashable, Hashable]
+Change = tuple[Hashable, Hashable, Hashable]  # (symbol, source, target)
+
+
+@dataclass(frozen=True)
+class StoreDelta:
+    """The tuple-level changes between two store versions.
+
+    Returned by :meth:`MaterializedViewStore.delta_since`.  Each list is
+    in application order, but the interleaving *between* the two lists
+    is not preserved — a delta with deletions is a rebuild signal, not a
+    replayable script (see :meth:`~MaterializedViewStore.delta_since`).
+    A tuple inserted and later deleted inside the window appears in both
+    lists; the lists are not netted against each other.  An empty delta
+    (both tuples empty) means the store has not changed since
+    ``base_version``.
+    """
+
+    base_version: int
+    version: int
+    insertions: tuple[Change, ...]
+    deletions: tuple[Change, ...]
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.insertions) + len(self.deletions)
+
+    @property
+    def pure_insertions(self) -> bool:
+        """Can evaluation state be patched forward (no deletions)?"""
+        return not self.deletions
 
 
 def answer_on_extensions(
@@ -54,14 +90,34 @@ class MaterializedViewStore:
     wholesale from a database via :meth:`load`.  Reads
     (:attr:`graph`, :meth:`extension`, :meth:`snapshot`) always reflect
     the current :attr:`version`.
+
+    Every effective tuple change is also appended to a bounded change
+    log (at most ``log_limit`` entries; compaction drops the oldest),
+    so a consumer that remembers the version it last saw can ask
+    :meth:`delta_since` for exactly what changed instead of diffing
+    snapshots — the feed behind incremental answer maintenance.
     """
 
     def __init__(
-        self, extensions: Mapping[Hashable, Iterable[Pair]] | None = None
+        self,
+        extensions: Mapping[Hashable, Iterable[Pair]] | None = None,
+        *,
+        log_limit: int = 100_000,
     ):
+        if log_limit < 0:
+            raise ValueError(f"log_limit must be >= 0, got {log_limit}")
         self._graph = GraphDB()
         self._pairs: dict[Hashable, set[Pair]] = {}
         self._version = 0
+        # Change log: (version-after-change, is_insert, symbol, source,
+        # target), oldest first, trimmed to log_limit entries.  The log
+        # is complete for base versions >= _log_start; older baselines
+        # can no longer be replayed (delta_since returns None).
+        self._log: deque[tuple[int, bool, Hashable, Hashable, Hashable]] = (
+            deque()
+        )
+        self._log_limit = log_limit
+        self._log_start = 0
         if extensions:
             for symbol, pairs in extensions.items():
                 self.add_many(symbol, pairs)
@@ -69,6 +125,22 @@ class MaterializedViewStore:
     # ------------------------------------------------------------------
     # Mutation (every effective change bumps the version)
     # ------------------------------------------------------------------
+    def _record(
+        self,
+        is_insert: bool,
+        symbol: Hashable,
+        source: Hashable,
+        target: Hashable,
+    ) -> None:
+        """Append one change (tagged with the already-bumped version) and
+        compact: dropping an entry of version ``w`` means deltas can only
+        be replayed from baselines ``>= w`` from now on."""
+        self._log.append((self._version, is_insert, symbol, source, target))
+        while len(self._log) > self._log_limit:
+            dropped_version = self._log.popleft()[0]
+            if dropped_version > self._log_start:
+                self._log_start = dropped_version
+
     def add(self, symbol: Hashable, source: Hashable, target: Hashable) -> bool:
         """Add one tuple to the extension of ``symbol``; ``True`` if new."""
         pairs = self._pairs.setdefault(symbol, set())
@@ -77,6 +149,7 @@ class MaterializedViewStore:
         pairs.add((source, target))
         self._graph.add_edge(source, symbol, target)
         self._version += 1
+        self._record(True, symbol, source, target)
         return True
 
     def remove(
@@ -98,6 +171,7 @@ class MaterializedViewStore:
             del self._pairs[symbol]
         self._graph.remove_edge(source, symbol, target)
         self._version += 1
+        self._record(False, symbol, source, target)
         return True
 
     def add_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
@@ -107,36 +181,40 @@ class MaterializedViewStore:
         downstream evaluation caches a single time.
         """
         existing = self._pairs.setdefault(symbol, set())
-        added = 0
+        added: list[Pair] = []
         for source, target in pairs:
             if (source, target) in existing:
                 continue
             existing.add((source, target))
             self._graph.add_edge(source, symbol, target)
-            added += 1
+            added.append((source, target))
         if not existing:
             del self._pairs[symbol]
         if added:
             self._version += 1
-        return added
+            for source, target in added:
+                self._record(True, symbol, source, target)
+        return len(added)
 
     def remove_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
         """Remove tuples in bulk; returns how many were actually removed."""
         existing = self._pairs.get(symbol)
         if not existing:
             return 0
-        removed = 0
+        removed: list[Pair] = []
         for source, target in pairs:
             if (source, target) not in existing:
                 continue
             existing.discard((source, target))
             self._graph.remove_edge(source, symbol, target)
-            removed += 1
+            removed.append((source, target))
         if not existing:
             del self._pairs[symbol]
         if removed:
             self._version += 1
-        return removed
+            for source, target in removed:
+                self._record(False, symbol, source, target)
+        return len(removed)
 
     def replace(self, symbol: Hashable, pairs: Iterable[Pair]) -> None:
         """Swap the whole extension of ``symbol`` (a view refresh)."""
@@ -144,15 +222,21 @@ class MaterializedViewStore:
         old_pairs = self._pairs.get(symbol, set())
         if new_pairs == old_pairs:
             return
-        for source, target in old_pairs - new_pairs:
+        dropped = old_pairs - new_pairs
+        gained = new_pairs - old_pairs
+        for source, target in dropped:
             self._graph.remove_edge(source, symbol, target)
-        for source, target in new_pairs - old_pairs:
+        for source, target in gained:
             self._graph.add_edge(source, symbol, target)
         if new_pairs:
             self._pairs[symbol] = new_pairs
         else:
             self._pairs.pop(symbol, None)
         self._version += 1
+        for source, target in dropped:
+            self._record(False, symbol, source, target)
+        for source, target in gained:
+            self._record(True, symbol, source, target)
 
     def load(self, views, db: GraphDB, theory=None) -> None:
         """Materialize every view of ``views`` over ``db`` into the store.
@@ -196,6 +280,63 @@ class MaterializedViewStore:
         return (
             self._version,
             {symbol: frozenset(pairs) for symbol, pairs in self._pairs.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Change log (what lets evaluation state be patched, not rebuilt)
+    # ------------------------------------------------------------------
+    @property
+    def log_size(self) -> int:
+        """How many change entries the bounded log currently holds."""
+        return len(self._log)
+
+    @property
+    def oldest_replayable_version(self) -> int:
+        """The smallest base version :meth:`delta_since` still accepts.
+
+        Starts at 0 and moves forward as compaction trims the log; a
+        consumer whose last-seen version fell behind it must do a full
+        recompute."""
+        return self._log_start
+
+    def delta_since(self, version: int) -> StoreDelta | None:
+        """The tuple-level changes from ``version`` to :attr:`version`.
+
+        Returns ``None`` — the *too stale, recompute from scratch*
+        signal — when ``version`` is from the future (a different store,
+        or a rolled-back one) or predates the log's compaction horizon
+        (:attr:`oldest_replayable_version`).  A returned
+        :attr:`StoreDelta.pure_insertions` delta replays exactly:
+        applying its insertions to the contents at ``version`` yields
+        the current contents.  A delta containing deletions is a
+        *rebuild signal only* — the two tuples do not preserve the
+        interleaving of inserts and deletes, so a mixed delta cannot be
+        replayed (and no consumer tries: deletions always drop
+        evaluation state).
+        """
+        if version > self._version or version < self._log_start:
+            return None
+        # Scan newest-first and stop at the consumer's version: entries
+        # are version-ordered, so the cost is O(|delta|), not O(log) —
+        # a store carrying a large history answers a one-tuple delta in
+        # constant time.
+        changes: list[tuple[bool, Change]] = []
+        for entry_version, is_insert, symbol, source, target in reversed(
+            self._log
+        ):
+            if entry_version <= version:
+                break
+            changes.append((is_insert, (symbol, source, target)))
+        changes.reverse()
+        return StoreDelta(
+            base_version=version,
+            version=self._version,
+            insertions=tuple(
+                change for is_insert, change in changes if is_insert
+            ),
+            deletions=tuple(
+                change for is_insert, change in changes if not is_insert
+            ),
         )
 
     def __contains__(self, symbol: Hashable) -> bool:

@@ -1,0 +1,197 @@
+"""DeltaSweepState: bit-identical resumption of the all-pairs sweep.
+
+The contract under test is stronger than equal answer sets: after any
+sequence of insertions, the retained ``reached`` matrices and
+``answer_masks`` must equal — bit for bit — those of a state freshly
+built on the updated graph.  Equal masks imply equal answers for *every
+future delta too*, which is why the unit layer pins masks and leaves
+answer-level comparison to the differential harness.
+"""
+
+import random
+
+import pytest
+
+from repro.rpq import RPQ, DeltaSweepState, GraphDB
+from repro.rpq import engine as engine_mod
+
+LABELS = ("a", "b", "c")
+
+
+def compiled_for(query, labels=LABELS):
+    return engine_mod.compile_automaton(
+        RPQ(query).eps_free_nfa(), None, frozenset(labels)
+    )
+
+
+def assert_bit_identical(state, db, compiled):
+    fresh = DeltaSweepState(db, compiled)
+    assert state.answer_masks == fresh.answer_masks
+    for automaton_state, row in fresh.reached.items():
+        mine = state.reached.get(automaton_state, [0] * state.num_nodes)
+        assert mine == row, f"reached[{automaton_state}] diverged"
+    assert state.answers_sorted() == engine_mod.evaluate_all_sorted(db, compiled)
+
+
+class TestSingleInsertions:
+    def test_edge_extending_a_path(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        assert state.answers() == frozenset()
+        db.add_edge("y", "b", "z")
+        state.apply_insertions([("y", "b", "z")])
+        assert state.answers() == frozenset({("x", "z")})
+        assert_bit_identical(state, db, compiled)
+
+    def test_new_seed_source(self):
+        """An insert that gives a node its *first* matching out-edge must
+        seed that node, not just push existing sources."""
+        db = GraphDB(nodes=["x", "y"])
+        compiled = compiled_for("a")
+        state = DeltaSweepState(db, compiled)
+        db.add_edge("x", "a", "y")
+        state.apply_insertions([("x", "a", "y")])
+        assert state.answers() == frozenset({("x", "y")})
+        assert_bit_identical(state, db, compiled)
+
+    def test_insert_closing_a_cycle_under_a_star(self):
+        db = GraphDB([("x", "a", "y"), ("y", "a", "z")])
+        compiled = compiled_for("a*")
+        state = DeltaSweepState(db, compiled)
+        db.add_edge("z", "a", "x")
+        state.apply_insertions([("z", "a", "x")])
+        nodes = {"x", "y", "z"}
+        assert state.answers() == frozenset(
+            (source, target) for source in nodes for target in nodes
+        )
+        assert_bit_identical(state, db, compiled)
+
+    def test_unmatched_label_is_a_cheap_noop(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a")
+        state = DeltaSweepState(db, compiled)
+        before = list(state.answer_masks)
+        db.add_edge("x", "c", "y")
+        state.apply_insertions([("x", "c", "y")])
+        assert state.answer_masks == before
+        assert_bit_identical(state, db, compiled)
+
+    def test_reapplying_an_absorbed_edge_is_idempotent(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        db.add_edge("y", "b", "z")
+        state.apply_insertions([("y", "b", "z")])
+        state.apply_insertions([("y", "b", "z")])
+        assert state.edges_applied == 2
+        assert state.answers() == frozenset({("x", "z")})
+        assert_bit_identical(state, db, compiled)
+
+
+class TestNodeGrowth:
+    def test_insert_interning_new_nodes(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        db.add_edge("y", "b", "brand_new")
+        state.apply_insertions([("y", "b", "brand_new")])
+        assert state.num_nodes == db.num_nodes == 3
+        assert state.answers() == frozenset({("x", "brand_new")})
+        assert_bit_identical(state, db, compiled)
+
+    def test_new_nodes_get_their_epsilon_diagonal(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a*")
+        state = DeltaSweepState(db, compiled)
+        db.add_edge("p", "b", "q")  # label outside the query: answers are
+        state.apply_insertions([("p", "b", "q")])  # the diagonal only
+        assert ("p", "p") in state.answers() and ("q", "q") in state.answers()
+        assert_bit_identical(state, db, compiled)
+
+    def test_state_built_on_empty_graph_grows(self):
+        db = GraphDB()
+        compiled = compiled_for("a")
+        state = DeltaSweepState(db, compiled)
+        assert state.answers() == frozenset()
+        db.add_edge("x", "a", "y")
+        state.apply_insertions([("x", "a", "y")])
+        assert state.answers() == frozenset({("x", "y")})
+        assert_bit_identical(state, db, compiled)
+
+
+class TestBatches:
+    def test_batch_matches_one_at_a_time(self):
+        base = [("x", "a", "y"), ("y", "b", "z")]
+        batch = [("z", "a", "x"), ("y", "a", "w"), ("w", "b", "x")]
+        compiled = compiled_for("(a+b)*")
+
+        db_batch = GraphDB(base)
+        state_batch = DeltaSweepState(db_batch, compiled)
+        for edge in batch:
+            db_batch.add_edge(*edge)
+        state_batch.apply_insertions(batch)
+
+        db_single = GraphDB(base)
+        state_single = DeltaSweepState(db_single, compiled)
+        for edge in batch:
+            db_single.add_edge(*edge)
+            state_single.apply_insertions([edge])
+
+        assert state_batch.answer_masks == state_single.answer_masks
+        assert_bit_identical(state_batch, db_batch, compiled)
+
+    def test_one_shot_generator_input(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        edges = [("y", "b", "z"), ("y", "b", "w")]
+        for edge in edges:
+            db.add_edge(*edge)
+        applied = state.apply_insertions(edge for edge in edges)
+        assert applied == 2
+        assert state.edges_applied == 2
+        assert state.answers() == frozenset({("x", "z"), ("x", "w")})
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("query", ["a", "a.b", "(a+b)*", "a.(b+c)*", "b*.c"])
+    def test_random_insertion_sequences_stay_bit_identical(self, query):
+        rng = random.Random(f"incremental-{query}")
+        compiled = compiled_for(query)
+        for _trial in range(15):
+            node_count = rng.randrange(1, 10)
+            nodes = [f"n{i}" for i in range(node_count)]
+            db = GraphDB(nodes=nodes)
+            for _ in range(rng.randrange(0, 2 * node_count)):
+                db.add_edge(
+                    rng.choice(nodes), rng.choice(LABELS), rng.choice(nodes)
+                )
+            state = DeltaSweepState(db, compiled)
+            for step in range(rng.randrange(1, 10)):
+                if rng.random() < 0.2:
+                    nodes.append(f"fresh{step}")
+                edge = (
+                    rng.choice(nodes),
+                    rng.choice(LABELS),
+                    rng.choice(nodes),
+                )
+                db.add_edge(*edge)
+                state.apply_insertions([edge])
+                assert_bit_identical(state, db, compiled)
+
+
+class TestErrors:
+    def test_unknown_node_raises_keyerror(self):
+        """Edges must be applied to the graph before being absorbed."""
+        db = GraphDB([("x", "a", "y")])
+        state = DeltaSweepState(db, compiled_for("a"))
+        with pytest.raises(KeyError):
+            state.apply_insertions([("ghost", "a", "y")])
+
+    def test_repr_reports_progress(self):
+        db = GraphDB([("x", "a", "y")])
+        state = DeltaSweepState(db, compiled_for("a"))
+        db.add_edge("x", "a", "x")
+        state.apply_insertions([("x", "a", "x")])
+        assert "edges_applied=1" in repr(state)

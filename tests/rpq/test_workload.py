@@ -23,6 +23,7 @@ from repro.rpq import (
     graph_signature,
     make_graph,
     make_queries,
+    make_update_stream,
     make_views,
     make_workload,
 )
@@ -207,3 +208,134 @@ def test_bad_arguments_rejected():
         make_queries("chain", seed=0, count=0)
     with pytest.raises(ValueError):
         make_views("mystery", seed=0)
+
+
+# ----------------------------------------------------------------------
+# Seeded update streams
+# ----------------------------------------------------------------------
+
+_STREAM_CHILD_SCRIPT = """
+import json, sys
+from repro.rpq import FAMILIES, make_update_stream
+
+seed, count = int(sys.argv[1]), int(sys.argv[2])
+out = {}
+for family in FAMILIES:
+    base = {"v_a": [("n0", "n1"), ("n1", "n2")]}
+    ops = make_update_stream(
+        family, seed, count=count, base=base, delete_fraction=0.4
+    )
+    out[family] = [[op.op, op.symbol, op.source, op.target] for op in ops]
+print(json.dumps(out))
+"""
+
+
+def _replay(ops, base):
+    """Apply a stream to a plain dict-of-sets model of the store."""
+    present = {
+        symbol: set(map(tuple, pairs)) for symbol, pairs in base.items()
+    }
+    for op in ops:
+        tuples = present.setdefault(op.symbol, set())
+        if op.op == "insert":
+            assert (op.source, op.target) not in tuples, op
+            tuples.add((op.source, op.target))
+        else:
+            assert op.op == "delete"
+            assert (op.source, op.target) in tuples, op
+            tuples.discard((op.source, op.target))
+    return present
+
+
+def test_update_stream_reproduces_across_processes():
+    """Same generator contract as the graphs: a fresh interpreter with
+    fresh hash randomization must emit the identical op sequence."""
+    seed, count = 20260730, 25
+    expected = {}
+    for family in FAMILIES:
+        base = {"v_a": [("n0", "n1"), ("n1", "n2")]}
+        ops = make_update_stream(
+            family, seed, count=count, base=base, delete_fraction=0.4
+        )
+        expected[family] = [[op.op, op.symbol, op.source, op.target] for op in ops]
+    proc = subprocess.run(
+        [sys.executable, "-c", _STREAM_CHILD_SCRIPT, str(seed), str(count)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random"},
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == expected
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_update_stream_is_consistent_by_construction(family):
+    """Every insert targets an absent tuple, every delete a present one
+    (given the base), so each op is effective exactly once on replay."""
+    base = {
+        "v_a": [("n0", "n1"), ("n1", "n2"), ("n2", "n0")],
+        "v_b": [("n0", "n2")],
+    }
+    ops = make_update_stream(
+        family, seed=3, count=60, base=base, delete_fraction=0.5,
+        symbols=("v_a", "v_b"),
+    )
+    assert len(ops) == 60
+    _replay(ops, base)  # raises on any ineffective op
+    assert {op.op for op in ops} == {"insert", "delete"}
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_update_stream_defaults_to_elementary_view_symbols(family):
+    ops = make_update_stream(family, seed=1, count=10)
+    views = dict(make_views(family, seed=1))
+    assert all(op.symbol in views for op in ops)
+    assert all(op.op == "insert" for op in ops)  # default: no deletes
+
+
+def test_update_stream_delete_fraction_zero_is_insert_only():
+    base = {"v_a": [("n0", "n1")]}
+    ops = make_update_stream(
+        "chain", seed=5, count=30, base=base, delete_fraction=0.0
+    )
+    assert all(op.op == "insert" for op in ops)
+    final = _replay(ops, base)
+    assert sum(len(pairs) for pairs in final.values()) == 31
+
+
+def test_update_stream_mints_fresh_nodes():
+    ops = make_update_stream(
+        "chain", seed=6, count=40, base={"v_a": [("n0", "n1")]},
+        fresh_node_fraction=0.5,
+    )
+    assert any(
+        op.source.startswith("u") or op.target.startswith("u") for op in ops
+    )
+
+
+def test_update_stream_saturated_pool_falls_back_to_fresh_nodes():
+    """When every tuple over the pool already exists (and fresh minting
+    is disabled), inserts must still make progress by minting a new
+    source node instead of looping."""
+    base = {"v": [("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")]}
+    ops = make_update_stream(
+        "chain", seed=2, count=3, base=base,
+        symbols=("v",), fresh_node_fraction=0.0,
+    )
+    assert all(op.op == "insert" for op in ops)
+    assert any(op.source.startswith("u") for op in ops)
+    _replay(ops, base)
+
+
+def test_update_stream_bad_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_update_stream("mystery", seed=0, count=5)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=0)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=5, delete_fraction=1.5)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=5, fresh_node_fraction=-0.1)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=5, symbols=())

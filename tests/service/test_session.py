@@ -109,6 +109,105 @@ class TestPlans:
         assert session.answer("a+b") == frozenset({("u", "v"), ("w", "v")})
 
 
+class TestIncrementalMaintenance:
+    """Pure-insert deltas patch the retained sweep state; deletions,
+    stale logs, domain changes, and the ``incremental=False`` knob all
+    pay a full recompute instead."""
+
+    def test_insert_is_absorbed_incrementally(self, session, store):
+        first = session.answer("a.b")
+        assert session.stats["full_recomputes"] == 1
+        store.add("q2", "v", "z2")
+        assert session.answer("a.b") == first | {("u", "z2"), ("w", "z2")}
+        assert session.stats["incremental_updates"] == 1
+        assert session.stats["full_recomputes"] == 1
+        assert session.stats["delta_edges_applied"] == 1
+
+    def test_multi_update_delta_absorbed_in_one_step(self, session, store):
+        session.answer("a.b")
+        store.add("q1", "u2", "v")
+        store.add_many("q2", [("v", "z3"), ("v", "z4")])
+        session.answer("a.b")
+        assert session.stats["incremental_updates"] == 1
+        assert session.stats["delta_edges_applied"] == 3
+
+    def test_deletion_drops_the_state(self, session, store):
+        session.answer("a.b")
+        store.remove("q1", "u", "v")
+        assert session.answer("a.b") == frozenset({("w", "z")})
+        assert session.stats["incremental_updates"] == 0
+        assert session.stats["full_recomputes"] == 2
+
+    def test_stale_log_forces_full_recompute(self, views, theory):
+        store = MaterializedViewStore(
+            {"q1": [("u", "v")], "q2": [("v", "z")]}, log_limit=1
+        )
+        session = QuerySession(store, views, theory)
+        session.answer("a.b")
+        store.add("q1", "u2", "v")
+        store.add("q1", "u3", "v")  # compacts the first insert away
+        assert session.answer("a.b") == frozenset(
+            {("u", "z"), ("u2", "z"), ("u3", "z")}
+        )
+        assert session.stats["incremental_updates"] == 0
+        assert session.stats["full_recomputes"] == 2
+
+    def test_domain_growth_recompiles_and_rebuilds(self, theory):
+        # q2 starts empty: its first tuple adds a new edge label to the
+        # view graph, which recompiles the automaton and invalidates the
+        # retained state (mask layout is fine, the table is not).
+        store = MaterializedViewStore({"q1": [("u", "v")]})
+        session = QuerySession(store, {"q1": "a", "q2": "b"}, theory)
+        assert session.answer("a.b") == frozenset()
+        store.add("q2", "v", "z")
+        assert session.answer("a.b") == frozenset({("u", "z")})
+        assert session.stats["full_recomputes"] == 2
+        assert session.stats["incremental_updates"] == 0
+
+    def test_incremental_false_never_retains_state(self, store, views, theory):
+        session = QuerySession(store, views, theory, incremental=False)
+        session.answer("a.b")
+        store.add("q2", "v", "z2")
+        session.answer("a.b")
+        assert session.stats["full_recomputes"] == 2
+        assert session.stats["incremental_updates"] == 0
+        assert session._delta_states == {}
+
+    def test_parallel_session_routes_deltas_to_full_sharded_sweeps(
+        self, store, views, theory
+    ):
+        plain = QuerySession(store, views, theory)
+        sharded = QuerySession(store, views, theory, parallelism=3)
+        sharded.answer("a.b")
+        store.add("q2", "v", "z2")
+        assert sharded.answer("a.b") == plain.answer("a.b")
+        assert sharded.stats["incremental_updates"] == 0
+        assert sharded.stats["full_recomputes"] == 2
+        assert sharded.stats["parallel_sweeps"] == 2
+
+    def test_answer_sorted_matches_answer(self, session, store):
+        store.add("q1", "u2", "v")
+        answers = session.answer("a.b")
+        sorted_answers = session.answer_sorted("a.b")
+        assert frozenset(sorted_answers) == answers
+        graph = store.graph
+        keys = [
+            (graph.node_id(x), graph.node_id(y)) for x, y in sorted_answers
+        ]
+        assert keys == sorted(keys)
+
+    def test_states_are_per_plan(self, session, store):
+        session.answer("a.b")
+        session.answer("a")
+        store.add("q2", "v", "z2")
+        session.answer("a.b")
+        session.answer("a")
+        # Both plans' states absorbed the same delta independently.
+        assert session.stats["incremental_updates"] == 2
+        assert session.stats["full_recomputes"] == 2
+        assert len(session._delta_states) == 2
+
+
 class TestParallelism:
     """The ``parallelism`` knob: sharded answers, invalidation, fallback."""
 

@@ -1,4 +1,5 @@
-"""MaterializedViewStore: incremental updates, versioning, view graph."""
+"""MaterializedViewStore: incremental updates, versioning, view graph,
+and the bounded change log behind incremental answer maintenance."""
 
 import pytest
 
@@ -74,6 +75,128 @@ class TestMutation:
         store.load(views, db, theory)
         assert store.extension("q1") == {("x", "y")}
         assert store.extension("q2") == {("y", "z")}
+
+
+class TestBulkGenerators:
+    """Bulk mutations fed by one-shot generators: consumed exactly once,
+    one version bump, accurate return counts."""
+
+    def test_add_many_from_generator(self, store):
+        v0 = store.version
+        pairs = ((f"g{i}", f"g{i + 1}") for i in range(4))
+        assert store.add_many("q1", pairs) == 4
+        assert store.version == v0 + 1
+        assert store.extension("q1") >= {("g0", "g1"), ("g3", "g4")}
+
+    def test_add_many_generator_with_duplicates(self, store):
+        v0 = store.version
+        pairs = (pair for pair in [("u", "v"), ("x", "y"), ("x", "y")])
+        # ("u","v") pre-exists, ("x","y") repeats inside the generator.
+        assert store.add_many("q1", pairs) == 1
+        assert store.version == v0 + 1
+
+    def test_remove_many_from_generator(self, store):
+        v0 = store.version
+        pairs = (pair for pair in [("u", "v"), ("w", "v"), ("nope", "nope")])
+        assert store.remove_many("q1", pairs) == 2
+        assert store.version == v0 + 1
+        assert "q1" not in store
+
+    def test_replace_from_generator(self, store):
+        store.replace("q2", (pair for pair in [("a", "b"), ("c", "d")]))
+        assert store.extension("q2") == {("a", "b"), ("c", "d")}
+
+    def test_empty_generator_is_a_versionless_noop(self, store):
+        v0 = store.version
+        assert store.add_many("q9", (pair for pair in ())) == 0
+        assert store.remove_many("q1", (pair for pair in ())) == 0
+        assert store.version == v0
+        assert "q9" not in store
+
+
+class TestChangeLog:
+    def test_delta_since_current_version_is_empty(self, store):
+        delta = store.delta_since(store.version)
+        assert delta is not None
+        assert delta.insertions == () and delta.deletions == ()
+        assert delta.num_changes == 0 and delta.pure_insertions
+
+    def test_delta_since_collects_inserts_and_deletes_in_order(self, store):
+        v0 = store.version
+        store.add("q1", "x", "y")
+        store.remove("q2", "v", "z")
+        delta = store.delta_since(v0)
+        assert delta.insertions == (("q1", "x", "y"),)
+        assert delta.deletions == (("q2", "v", "z"),)
+        assert not delta.pure_insertions
+        assert (delta.base_version, delta.version) == (v0, store.version)
+
+    def test_future_version_returns_none(self, store):
+        assert store.delta_since(store.version + 1) is None
+
+    def test_bulk_ops_log_per_tuple_under_one_version(self, store):
+        v0 = store.version
+        store.add_many("q2", [("b1", "b2"), ("b2", "b3")])
+        delta = store.delta_since(v0)
+        assert set(delta.insertions) == {("q2", "b1", "b2"), ("q2", "b2", "b3")}
+        assert store.version == v0 + 1
+
+    def test_compaction_moves_the_replay_horizon(self):
+        store = MaterializedViewStore(log_limit=3)
+        versions = []
+        for i in range(5):
+            store.add("q", f"s{i}", f"t{i}")
+            versions.append(store.version)
+        assert store.log_size == 3
+        # Versions 1 and 2 were compacted away: too stale to replay.
+        assert store.oldest_replayable_version == versions[1]
+        assert store.delta_since(versions[0]) is None
+        assert store.delta_since(versions[1]) is not None
+        delta = store.delta_since(versions[1])
+        assert delta.insertions == (
+            ("q", "s2", "t2"), ("q", "s3", "t3"), ("q", "s4", "t4"),
+        )
+
+    def test_compaction_inside_a_bulk_group_keeps_the_boundary_safe(self):
+        """Trimming part of one bulk version's entries must invalidate
+        baselines at or before the *previous* version, while the bulk
+        version itself stays replayable-from."""
+        store = MaterializedViewStore(log_limit=2)
+        store.add("q", "a", "b")                      # version 1
+        v1 = store.version
+        store.add_many("q", [("c", "d"), ("e", "f"), ("g", "h")])  # version 2
+        v2 = store.version
+        assert store.log_size == 2  # two of version 2's three entries left
+        assert store.delta_since(v1) is None  # would need all three
+        delta = store.delta_since(v2)
+        assert delta is not None and delta.num_changes == 0
+
+    def test_zero_log_limit_disables_replay(self):
+        store = MaterializedViewStore({"q": [("x", "y")]}, log_limit=0)
+        assert store.log_size == 0
+        v = store.version
+        store.add("q", "y", "z")
+        assert store.delta_since(v) is None
+        assert store.delta_since(store.version) is not None  # empty delta
+
+    def test_negative_log_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedViewStore(log_limit=-1)
+
+    def test_replace_logs_the_diff(self, store):
+        v0 = store.version
+        store.replace("q1", [("u", "v"), ("new", "pair")])
+        delta = store.delta_since(v0)
+        assert delta.insertions == (("q1", "new", "pair"),)
+        assert delta.deletions == (("q1", "w", "v"),)
+
+    def test_ineffective_ops_do_not_log(self, store):
+        v0 = store.version
+        size = store.log_size
+        store.add("q1", "u", "v")          # duplicate
+        store.remove("q1", "no", "no")     # absent
+        store.add_many("q1", [("u", "v")])
+        assert store.version == v0 and store.log_size == size
 
 
 class TestReads:

@@ -221,6 +221,55 @@ class TestAnswer:
         )
         assert "no answer" in capsys.readouterr().out
 
+    def test_stats_prints_serving_counters_as_json_on_stderr(
+        self, tuples, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "answer",
+                "--query", "a.b",
+                "--query", "a",
+                "--view", "q1=a",
+                "--view", "q2=b",
+                "--extensions", tuples,
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "u\tz" in captured.out  # answers untouched on stdout
+        report = json.loads(captured.err.splitlines()[-1])
+        assert report["store"]["tuples"] == 3
+        assert report["store"]["version"] >= 1
+        assert [entry["query"] for entry in report["sessions"]] == ["a.b", "a"]
+        for entry in report["sessions"]:
+            assert entry["stats"]["requests"] == 1
+            assert entry["stats"]["full_recomputes"] == 1
+            assert entry["stats"]["incremental_updates"] == 0
+        assert report["compile_cache"]["misses"] >= 1
+        assert report["plan_cache"]["built"] == 2
+
+    def test_stats_with_pair_mode(self, tuples, capsys):
+        import json
+
+        code = main(
+            [
+                "answer",
+                "--query", "a.b",
+                "--view", "q1=a",
+                "--view", "q2=b",
+                "--extensions", tuples,
+                "--pair", "u", "z",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.err.splitlines()[-1])
+        assert report["sessions"][0]["stats"]["requests"] == 1
+
     def test_plan_cache_persists_between_invocations(
         self, tuples, tmp_path, capsys
     ):
