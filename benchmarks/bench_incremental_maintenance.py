@@ -1,23 +1,28 @@
-"""INCREMENTAL: delta-driven re-answering vs full recompute (ISSUE 5 gate).
+"""INCREMENTAL: delta-driven re-answering vs full recompute (gates for
+ISSUE 5 — insert trickle — and ISSUE 6 — mixed insert/delete trickle).
 
 The serving regime under test: a long-lived :class:`QuerySession` over a
 :class:`MaterializedViewStore` holding the elementary-view extensions of
 a >= 50k-edge workload graph, receiving a trickle of single-tuple
-inserts, each followed by a full all-pairs ``answer()``.  The memoized
+updates, each followed by a full all-pairs ``answer()``.  The memoized
 answer set dies with every version bump either way; what the
 incremental session keeps is the *sweep state*
-(:class:`~repro.rpq.incremental.DeltaSweepState`), resumed from each
-inserted tuple's semi-naive delta instead of recomputed from zero.
+(:class:`~repro.rpq.incremental.DeltaSweepState`), patched from each
+delta — insertions resume the semi-naive sweep, deletions run
+delete-rederive — instead of recomputed from zero.
 
-The headline gate: over 200 interleaved insert+answer steps drawn from
-the seeded update stream, the incremental session must be **>= 10x**
-faster than an identical session with ``incremental=False`` (which pays
-one full sweep per insert), and both must produce **byte-identical
-sorted answers at every step** — plus a final direct check against
-``engine.evaluate_all_sorted`` on the live view graph.
+Two headline gates, each over 200 interleaved update+answer steps drawn
+from the seeded update stream: the incremental session must be
+**>= 10x** faster than an identical session with ``incremental=False``
+(which pays one full sweep per update), and both must produce
+**byte-identical sorted answers at every step** — plus a final direct
+check against ``engine.evaluate_all_sorted`` on the live view graph.
+The insert-only gate pins the ISSUE 5 fast path; the mixed gate
+(~20% deletions) pins that deletions no longer fall off it.
 
 Measured locally (grid family, 50k edges, query ``r.d``): full recompute
-~250 ms/step, incremental ~4.5 ms/step — ~56x.
+~250 ms/step, incremental ~4.5 ms/step insert-only and ~5 ms/step on
+the 20%-delete mix — ~50x either way.
 """
 
 import time
@@ -127,6 +132,76 @@ def test_incremental_trickle_speedup_on_50k_edge_store():
     assert speedup >= 10.0, (
         f"incremental re-answering only {speedup:.2f}x over full recompute "
         f"(full {full_seconds:.3f}s, incremental {incremental_seconds:.3f}s)"
+    )
+
+
+def test_mixed_trickle_speedup_on_50k_edge_store():
+    """The ISSUE 6 gate: the same >= 10x bar with ~20% of the trickle
+    being deletions (plus delete-then-reinsert pressure), answers
+    byte-identical at every step, and no step falling back to a full
+    rebuild."""
+    incremental, full = _session_pair()
+    updates = make_update_stream(
+        FAMILY,
+        SEED,
+        count=NUM_UPDATES,
+        base={s: incremental.store.extension(s) for s in incremental.store.symbols},
+        delete_fraction=0.2,
+        reinsert_fraction=0.5,
+    )
+    num_deletes = sum(op.op == "delete" for op in updates)
+    assert 0 < num_deletes < NUM_UPDATES  # genuinely mixed
+
+    assert incremental.answer_sorted(QUERY) == full.answer_sorted(QUERY)
+    assert incremental.stats["full_recomputes"] == 1
+
+    incremental_seconds = full_seconds = 0.0
+    for op in updates:
+        if op.op == "insert":
+            assert incremental.store.add(op.symbol, op.source, op.target)
+            assert full.store.add(op.symbol, op.source, op.target)
+        else:
+            assert incremental.store.remove(op.symbol, op.source, op.target)
+            assert full.store.remove(op.symbol, op.source, op.target)
+        start = time.perf_counter()
+        incremental_answers = incremental.answer(QUERY)
+        incremental_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        full_answers = full.answer(QUERY)
+        full_seconds += time.perf_counter() - start
+        assert _answer_bytes(
+            sort_pairs(incremental.store.graph, incremental_answers)
+        ) == _answer_bytes(sort_pairs(full.store.graph, full_answers))
+
+    # Deletions are absorbed by delete-rederive, never by a rebuild.
+    assert incremental.stats["incremental_updates"] == NUM_UPDATES
+    assert incremental.stats["incremental_deletes"] == num_deletes
+    assert incremental.stats["full_recomputes"] == 1
+    assert incremental.stats["delta_edges_applied"] == NUM_UPDATES
+    assert full.stats["full_recomputes"] == 1 + NUM_UPDATES
+
+    final_plan_nfa = incremental.plan(QUERY).automaton.to_nfa()
+    final_compiled = engine_mod.compile_automaton(
+        final_plan_nfa, None, incremental.store.graph.domain(), plain_symbols=True
+    )
+    assert _answer_bytes(incremental.answer_sorted(QUERY)) == _answer_bytes(
+        engine_mod.evaluate_all_sorted(incremental.store.graph, final_compiled)
+    )
+
+    speedup = full_seconds / incremental_seconds
+    print(
+        f"\nmixed maintenance ({FAMILY}, {NUM_EDGES} edges, {NUM_UPDATES} "
+        f"ops incl. {num_deletes} deletes, query {QUERY!r}):\n"
+        f"  full recompute {full_seconds:.3f}s "
+        f"({full_seconds / NUM_UPDATES * 1000:.1f} ms/step)\n"
+        f"  incremental    {incremental_seconds:.3f}s "
+        f"({incremental_seconds / NUM_UPDATES * 1000:.1f} ms/step)\n"
+        f"  -> {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"mixed incremental re-answering only {speedup:.2f}x over full "
+        f"recompute (full {full_seconds:.3f}s, incremental "
+        f"{incremental_seconds:.3f}s)"
     )
 
 

@@ -29,12 +29,29 @@ re-push.  The result is **bit-identical** to rebuilding the state from
 scratch on the updated graph — ``tests/rpq/test_incremental.py`` asserts
 mask-level equality after every insertion, not just equal answer sets.
 
-Deletions are *not* absorbed: removing an edge can invalidate arbitrary
-bits, and recomputing which would cost a full sweep anyway.  Callers
-(:class:`repro.service.session.QuerySession`) drop the state and rebuild
-on any delta containing a deletion, as on any state too stale to replay
+Deletions are absorbed by **delete-rederive** (DRed), the standard
+companion of semi-naive maintenance in the same Datalog lineage
+(arXiv:1511.00938): removing an edge can invalidate bits, but only bits
+whose *some* derivation crossed the deleted edge.
+:meth:`DeltaSweepState.apply_deletions` first **over-deletes** — for
+each deleted edge ``(u, label, v)`` and each matching transition
+``s --label--> t``, every source bit settled at both ``(s, u)`` and
+``(t, v)`` is a removal candidate, and candidates propagate forward
+through the live adjacency (a bit cleared at ``(s, n)`` endangers the
+same bit at every product successor of ``(s, n)``) — then **re-derives**
+survivors: each over-deleted bit still supported one step back (a live
+in-edge from a cell that kept the bit, or the initial-state seed rule
+for a node that still has a matching out-edge) is restored and the
+restorations resume the engine's own fixpoint loop, exactly like an
+insertion delta.  The result is again bit-identical to a from-scratch
+rebuild on the updated graph; because answers can now *disappear*, the
+decoded pair set tracks cleared bits as well as gained ones.
+
+Callers (:class:`repro.service.session.QuerySession`) therefore patch
+mixed insert/delete deltas in place — insertions first, then deletions —
+and only rebuild on a state too stale to replay
 (:meth:`repro.service.store.MaterializedViewStore.delta_since` returning
-``None``).
+``None``) or a changed compiled automaton.
 """
 
 from __future__ import annotations
@@ -66,8 +83,12 @@ class DeltaSweepState:
       the product relation being saturated) — a label-domain change
       recompiles the automaton, so callers compare identities;
 
-    and as long as no edge the state has seen is *removed* — deletions
-    must drop the state (see the module docstring).
+    and as long as every edge mutation is reported: insertions through
+    :meth:`apply_insertions`, deletions through :meth:`apply_deletions`
+    (delete-rederive; see the module docstring).  For a mixed batch,
+    apply the insertions first — over-delete reads the live graph, so it
+    also cleans up after edges that were inserted and deleted within the
+    same batch.
     """
 
     __slots__ = (
@@ -77,6 +98,9 @@ class DeltaSweepState:
         "reached",
         "answer_masks",
         "edges_applied",
+        "edges_deleted",
+        "overdeleted_bits",
+        "rederived_bits",
         "_pairs",
         "_masks_snapshot",
     )
@@ -90,6 +114,9 @@ class DeltaSweepState:
         self.reached = reached
         self.answer_masks = answer_masks
         self.edges_applied = 0
+        self.edges_deleted = 0
+        self.overdeleted_bits = 0
+        self.rederived_bits = 0
         # The decoded answer set is maintained incrementally as well:
         # masks only ever gain bits, so answers() decodes the per-target
         # xor against this snapshot instead of re-unpacking every mask —
@@ -177,6 +204,185 @@ class DeltaSweepState:
         self.edges_applied += applied
         return applied
 
+    def apply_deletions(self, edges: Iterable[Edge]) -> int:
+        """Absorb deleted edges by delete-rederive, back to the fixpoint.
+
+        ``edges`` are ``(source, label, target)`` triples that have
+        **already been removed** from the graph (the over-delete walk and
+        the rederivation both read the live adjacency).  The three DRed
+        phases:
+
+        1. *Collect.*  For every deleted edge and every matching
+           transition ``s --label--> t``, the source bits settled at both
+           ``(s, u)`` and ``(t, v)`` are removal candidates — as is
+           ``u``'s own seed bit at ``(s, u)`` when ``s`` is initial,
+           since the deleted edge may have been its last matching
+           out-edge.  Candidates from *all* edges of the batch are
+           gathered against the intact masks before anything is cleared:
+           clearing eagerly would hide the bits a later deleted edge of
+           the same batch needs to see.
+        2. *Over-delete.*  A worklist clears candidate bits and forwards
+           each cleared bit to every live product successor; bits already
+           absent terminate the walk, so the region visited is the
+           consequence cone of the deleted edges, not the graph.
+        3. *Re-derive.*  Every over-deleted bit with one-step support —
+           the seed rule for initial states, or a live in-edge from a
+           cell that (still) holds the bit — is restored, and the
+           restorations resume :func:`repro.rpq.engine._sweep_to_fixpoint`
+           exactly like insertion deltas; restoration cascades re-prove
+           chains of over-deleted bits in derivation order.  Answer masks
+           of targets that lost final-state bits are then recomputed from
+           the settled final-state rows (plus the epsilon diagonal).
+
+        Idempotent per batch in the same sense as insertions: re-applying
+        a deletion whose edge is already gone finds no candidates.
+        Returns the number of edge triples processed and accumulates it
+        in :attr:`edges_deleted`; :attr:`overdeleted_bits` /
+        :attr:`rederived_bits` count phase-2's pessimism and how much of
+        it phase 3 undid.
+        """
+        db = self.db
+        compiled = self.compiled
+        if db.num_nodes > self.num_nodes:
+            self._grow(db.num_nodes)
+        table = compiled.table
+        rtable = compiled.rtable
+        initials = compiled.initials
+        finals = compiled.finals
+        reached = self.reached
+        answer_masks = self.answer_masks
+        node_id = db.node_id
+        label_out = db.label_out_index
+        label_in = db.label_in_index
+
+        # Phase 1: direct removal candidates, against the intact masks.
+        candidates: dict[tuple[int, int], int] = {}
+        deleted = 0
+        for source, label, target in edges:
+            deleted += 1
+            u = node_id(source)
+            v = node_id(target)
+            for state, row in table.items():
+                next_states = row.get(label)
+                if next_states is None:
+                    continue
+                state_reached = reached.get(state)
+                if state_reached is None:
+                    continue
+                sources = state_reached[u]
+                if not sources:
+                    continue
+                if state in initials and sources & (1 << u):
+                    key = (state, u)
+                    candidates[key] = candidates.get(key, 0) | (1 << u)
+                for next_state in next_states:
+                    next_reached = reached.get(next_state)
+                    if next_reached is None:
+                        continue
+                    endangered = sources & next_reached[v]
+                    if endangered:
+                        key = (next_state, v)
+                        candidates[key] = candidates.get(key, 0) | endangered
+        self.edges_deleted += deleted
+        if not candidates:
+            return deleted
+
+        # Phase 2: over-delete, forwarding cleared bits through the live
+        # product adjacency.
+        overdeleted: dict[tuple[int, int], int] = {}
+        worklist = list(candidates.items())
+        while worklist:
+            (state, node), bits = worklist.pop()
+            state_reached = reached.get(state)
+            if state_reached is None:
+                continue
+            clearing = bits & state_reached[node]
+            if not clearing:
+                continue
+            state_reached[node] &= ~clearing
+            key = (state, node)
+            overdeleted[key] = overdeleted.get(key, 0) | clearing
+            row = table.get(state)
+            if not row:
+                continue
+            for label, next_states in row.items():
+                targets = label_out(label).get(node)
+                if not targets:
+                    continue
+                for next_state in next_states:
+                    for w in targets:
+                        worklist.append(((next_state, w), clearing))
+
+        # Phase 3: boundary rederivation.  Support is read from the
+        # post-over-delete masks — the *kept* facts — plus restorations
+        # made earlier in this very loop; whatever one step cannot prove,
+        # the resumed fixpoint cascade can.
+        frontier: dict[int, dict[int, int]] = {}
+        for (state, node), bits in overdeleted.items():
+            state_reached = reached[state]
+            restore = 0
+            if state in initials and bits & (1 << node):
+                row = table.get(state)
+                if row:
+                    for label in row:
+                        if label_out(label).get(node):
+                            restore = 1 << node
+                            break
+            remaining = bits & ~restore
+            if remaining:
+                rrow = rtable.get(state)
+                if rrow:
+                    support = 0
+                    for label, prev_states in rrow.items():
+                        preds = label_in(label).get(node)
+                        if not preds:
+                            continue
+                        for prev_state in prev_states:
+                            prev_reached = reached.get(prev_state)
+                            if prev_reached is None:
+                                continue
+                            for p in preds:
+                                support |= prev_reached[p]
+                    restore |= remaining & support
+            delta = restore & ~state_reached[node]
+            if delta:
+                state_reached[node] |= delta
+                bucket = frontier.get(state)
+                if bucket is None:
+                    bucket = frontier[state] = {}
+                bucket[node] = bucket.get(node, 0) | delta
+                if state in finals:
+                    answer_masks[node] |= delta
+        if frontier:
+            _engine._sweep_to_fixpoint(
+                db, compiled, reached, frontier, answer_masks
+            )
+
+        # Settle the answer masks of targets whose final-state bits were
+        # touched: base (epsilon diagonal) plus whatever the final states
+        # still reach.  Unaffected targets kept exact masks throughout.
+        affected_targets = {
+            node for state, node in overdeleted if state in finals
+        }
+        if affected_targets:
+            final_rows = [
+                reached[state] for state in finals if state in reached
+            ]
+            eps = compiled.accepts_epsilon
+            for v in affected_targets:
+                mask = 1 << v if eps else 0
+                for state_reached in final_rows:
+                    mask |= state_reached[v]
+                answer_masks[v] = mask
+
+        over = rederived = 0
+        for (state, node), bits in overdeleted.items():
+            over += bits.bit_count()
+            rederived += (bits & reached[state][node]).bit_count()
+        self.overdeleted_bits += over
+        self.rederived_bits += rederived
+        return deleted
+
     def _grow(self, num_nodes: int) -> None:
         """Widen the per-node arrays after the graph interned new nodes.
 
@@ -200,12 +406,12 @@ class DeltaSweepState:
     # Answers (decoded from the retained masks)
     # ------------------------------------------------------------------
     def _sync_pairs(self) -> None:
-        """Fold newly set answer bits into the decoded pair set.
+        """Fold changed answer bits into the decoded pair set.
 
-        Masks are monotone under insertions, so per target the xor
-        against the snapshot is exactly the new sources; unchanged
-        targets (the overwhelming majority after a small delta) cost one
-        int comparison each.
+        Per target, the diff against the snapshot splits into gained bits
+        (insertions, rederivations) and lost bits (deletions absorbed by
+        :meth:`apply_deletions`); unchanged targets (the overwhelming
+        majority after a small delta) cost one int comparison each.
         """
         node_at = self.db.node_at
         pairs = self._pairs
@@ -215,12 +421,17 @@ class DeltaSweepState:
         ):
             if mask == seen:
                 continue
-            new_bits = mask & ~seen
             target = node_at(target_id)
+            new_bits = mask & ~seen
             while new_bits:
                 low_bit = new_bits & -new_bits
                 pairs.add((node_at(low_bit.bit_length() - 1), target))
                 new_bits ^= low_bit
+            lost_bits = seen & ~mask
+            while lost_bits:
+                low_bit = lost_bits & -lost_bits
+                pairs.discard((node_at(low_bit.bit_length() - 1), target))
+                lost_bits ^= low_bit
             snapshot[target_id] = mask
 
     def answer_ids(self) -> list[tuple[int, int]]:
@@ -247,5 +458,6 @@ class DeltaSweepState:
         return (
             f"DeltaSweepState(nodes={self.num_nodes}, "
             f"states={len(self.reached)}, "
-            f"edges_applied={self.edges_applied})"
+            f"edges_applied={self.edges_applied}, "
+            f"edges_deleted={self.edges_deleted})"
         )

@@ -461,15 +461,33 @@ def _single_source_sweep(
 # sharded-graph payload (the bulky part) is pickled per *worker*, not
 # per task; the compiled automaton (small) rides along with each task,
 # letting one long-lived pool serve every query against the snapshot.
+#
+# Snapshots are *generation*-tagged so the pool survives the snapshot:
+# :meth:`ParallelEvaluator.refresh` bumps the evaluator's generation and
+# later tasks carry the new snapshot as pickled bytes; a worker unpickles
+# and caches it only when its cached generation is stale.  Workers
+# spawned at the pool-creation generation (possibly lazily, long after a
+# refresh) start from the initializer's snapshot and catch up the same
+# way.
 _WORKER_PAYLOAD: dict[str, tuple] = {}
 
 
-def _init_worker(sharded, fail_shards) -> None:
-    _WORKER_PAYLOAD["args"] = (sharded, fail_shards)
+def _init_worker(generation, sharded, fail_shards) -> None:
+    _WORKER_PAYLOAD["args"] = (generation, sharded, fail_shards)
 
 
-def _pool_sweep(compiled: CompiledAutomaton, shard_index: int) -> dict[int, int]:
-    sharded, fail_shards = _WORKER_PAYLOAD["args"]
+def _pool_sweep(
+    compiled: CompiledAutomaton,
+    shard_index: int,
+    generation: int,
+    payload: bytes | None,
+) -> dict[int, int]:
+    cached_generation, sharded, fail_shards = _WORKER_PAYLOAD["args"]
+    if cached_generation != generation:
+        import pickle
+
+        sharded = pickle.loads(payload)
+        _WORKER_PAYLOAD["args"] = (generation, sharded, fail_shards)
     return _sweep_shard(sharded, compiled, shard_index, fail_shards)
 
 
@@ -486,17 +504,25 @@ class ParallelEvaluator:
     :class:`~repro.service.session.QuerySession` for the fallback policy.
 
     The partition snapshot is taken at construction time: a
-    ``ParallelEvaluator`` answers for the graph as it was when built,
-    matching the engine's compile-once discipline (long-lived callers
-    rebuild on data-version changes, as ``QuerySession`` does).
+    ``ParallelEvaluator`` answers for the graph as it was when built.
+    When the underlying graph changes, call :meth:`refresh` to cut a new
+    partition from the live graph **without** discarding the worker pool
+    — long-lived callers like ``QuerySession`` refresh on every store
+    version bump, and respawning processes per one-tuple update would
+    cost more than the update itself.
 
-    The worker pool is likewise built once, on the first pooled call,
-    and reused for the evaluator's lifetime: the graph snapshot is
-    shipped to each worker exactly once (pool initializer) and each task
-    carries only the small compiled automaton, so answering many queries
-    against one snapshot pays one pool spawn, not one per query.  Call
-    :meth:`close` (or use the evaluator as a context manager) to release
-    the workers; a failed sweep tears the pool down automatically.
+    The worker pool is built once, on the first pooled call, and reused
+    across refreshes: the initial snapshot is shipped to each worker via
+    the pool initializer, each task carries the small compiled automaton
+    plus a snapshot *generation* tag, and after a refresh the new
+    snapshot rides along with the tasks as pickled bytes — each worker
+    unpickles and caches them only when its cached generation is stale —
+    so a steady stream of queries against one snapshot pays no per-task
+    snapshot cost at all, and a refresh pays one pickle (amortized over
+    its tasks) instead of a pool spawn.  Call :meth:`close` (or use the
+    evaluator as a context
+    manager) to release the workers; a failed sweep tears the pool down
+    automatically.
     """
 
     def __init__(
@@ -511,15 +537,41 @@ class ParallelEvaluator:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.db = db
+        self._num_shards = num_shards
         self.sharded = ShardedGraphDB(db, num_shards)
         self.workers = workers
         self.pool_timeout = pool_timeout
         self._fail_shards = frozenset(_fail_shards)
         self._pool = None
+        self._generation = 0
+        # The generation whose snapshot the pool's *initializer* ships to
+        # (lazily spawned) workers; tasks at any other generation must
+        # carry the snapshot themselves.
+        self._pool_generation = -1
+        self._payload_bytes: bytes | None = None
 
     @property
     def num_shards(self) -> int:
         return self.sharded.num_shards
+
+    @property
+    def generation(self) -> int:
+        """How many times :meth:`refresh` has cut a new partition."""
+        return self._generation
+
+    def refresh(self) -> None:
+        """Re-partition the *live* graph, keeping the worker pool.
+
+        The evaluator answers for the graph as of this call — the
+        re-shard is the same work construction does — but already-spawned
+        workers are reused: the next pooled sweep ships them the new
+        snapshot (tagged with a bumped generation) instead of paying a
+        process-pool spawn.  Sequential evaluation just picks up the new
+        partition.
+        """
+        self.sharded = ShardedGraphDB(self.db, self._num_shards)
+        self._generation += 1
+        self._payload_bytes = None
 
     # ------------------------------------------------------------------
     # Entry points (same trio as the engine)
@@ -638,15 +690,31 @@ class ParallelEvaluator:
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_init_worker,
-                    initargs=(self.sharded, self._fail_shards),
+                    initargs=(self._generation, self.sharded, self._fail_shards),
                 )
+                self._pool_generation = self._generation
             except (ImportError, NotImplementedError, OSError, PermissionError):
                 return None
         return self._pool
 
     def _run_pool(self, pool, compiled, indices) -> list[dict[int, int]]:
+        # After a refresh the initializer's snapshot is stale, so tasks
+        # must carry the current one; pickled once per generation.  (Any
+        # worker may still hold the initializer snapshot — lazy spawns
+        # included — so the payload keeps riding along until the pool
+        # itself is respawned at the current generation.)
+        payload = None
+        if self._pool_generation != self._generation:
+            if self._payload_bytes is None:
+                import pickle
+
+                self._payload_bytes = pickle.dumps(self.sharded)
+            payload = self._payload_bytes
         try:
-            futures = [pool.submit(_pool_sweep, compiled, i) for i in indices]
+            futures = [
+                pool.submit(_pool_sweep, compiled, i, self._generation, payload)
+                for i in indices
+            ]
             results = [
                 future.result(timeout=self.pool_timeout) for future in futures
             ]

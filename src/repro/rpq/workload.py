@@ -335,6 +335,7 @@ def make_update_stream(
     symbols: tuple[str, ...] | None = None,
     base: "dict[str, Iterable[tuple[str, str]]] | None" = None,
     delete_fraction: float = 0.0,
+    reinsert_fraction: float = 0.0,
     fresh_node_fraction: float = 0.1,
 ) -> tuple[UpdateOp, ...]:
     """A seeded stream of ``count`` insert/delete tuple operations.
@@ -353,15 +354,27 @@ def make_update_stream(
     present-tuple set (and the endpoint pool) with a store's existing
     extensions, so deletions can hit pre-existing tuples.
     ``delete_fraction`` is the per-op probability of a delete (when
-    anything is deletable); ``fresh_node_fraction`` is the per-endpoint
-    probability of minting a brand-new node (``u0``, ``u1``, ...) instead
-    of reusing the pool, which keeps node-universe growth exercised.
+    anything is deletable); ``reinsert_fraction`` is the per-op
+    probability that an insert re-targets a tuple the stream itself
+    deleted earlier (the delete-then-reinsert pattern incremental
+    maintenance must survive); ``fresh_node_fraction`` is the
+    per-endpoint probability of minting a brand-new node (``u0``,
+    ``u1``, ...) instead of reusing the pool, which keeps node-universe
+    growth exercised.
+
+    Backward-deterministic: with ``reinsert_fraction=0.0`` (the default)
+    the knob consumes no randomness and does not enter the stream's seed
+    key, so streams generated before the knob existed are byte-identical.
     """
     _check_family(family)
     if count < 1:
         raise ValueError("an update stream needs at least one operation")
     if not 0.0 <= delete_fraction <= 1.0:
         raise ValueError(f"delete_fraction must be in [0, 1], got {delete_fraction}")
+    if not 0.0 <= reinsert_fraction <= 1.0:
+        raise ValueError(
+            f"reinsert_fraction must be in [0, 1], got {reinsert_fraction}"
+        )
     if not 0.0 <= fresh_node_fraction <= 1.0:
         raise ValueError(
             f"fresh_node_fraction must be in [0, 1], got {fresh_node_fraction}"
@@ -372,9 +385,12 @@ def make_update_stream(
         symbols = tuple(symbols)
         if not symbols:
             raise ValueError("symbols must not be empty")
-    rng = random.Random(
-        (seed, family, "updates", count, repr(delete_fraction)).__repr__()
-    )
+    seed_key = (seed, family, "updates", count, repr(delete_fraction))
+    if reinsert_fraction:
+        # Appended only when active, so pre-existing (seed, fraction)
+        # streams keep their exact bytes (the determinism contract).
+        seed_key += (repr(reinsert_fraction),)
+    rng = random.Random(seed_key.__repr__())
     # Present tuples and the endpoint pool, in canonical (sorted) order so
     # index-based choices are process-independent; both evolve with the
     # stream, deterministically.
@@ -396,13 +412,32 @@ def make_update_stream(
         return pool[rng.randrange(len(pool))]
 
     ops: list[UpdateOp] = []
+    deleted_list: list[tuple[str, str, str]] = []
     for _ in range(count):
         if present_list and rng.random() < delete_fraction:
             index = rng.randrange(len(present_list))
             symbol, source, target = present_list.pop(index)
             present.discard((symbol, source, target))
+            deleted_list.append((symbol, source, target))
             ops.append(UpdateOp("delete", symbol, source, target))
             continue
+        if (
+            reinsert_fraction
+            and deleted_list
+            and rng.random() < reinsert_fraction
+        ):
+            candidate = deleted_list.pop(rng.randrange(len(deleted_list)))
+            # A random insert may have already re-created the tuple; a
+            # stale entry just falls through to a fresh insert.
+            if candidate not in present:
+                symbol, source, target = candidate
+                present.add(candidate)
+                present_list.append(candidate)
+                for node in (source, target):
+                    if node.startswith("u") and node not in pool:
+                        pool.append(node)
+                ops.append(UpdateOp("insert", symbol, source, target))
+                continue
         candidate = None
         for _attempt in range(32):
             attempt_tuple = (

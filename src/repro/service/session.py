@@ -11,20 +11,22 @@ the regime the ROADMAP targets — a long-lived mediator that owns
   memoized answer sets).
 
 The cache-invalidation contract is the point: **data changes invalidate
-only evaluation state, never plans — and pure-insert data changes don't
+only evaluation state, never plans — and replayable data changes don't
 even invalidate evaluation state, they patch it.**  A plan depends on
 (query, views, theory) alone; the per-plan compiled tables depend
-additionally on the store's label domain (they survive most updates —
-the engine's compilation LRU is keyed on the domain, which rarely
-changes); the answer memo depends on the exact store version and is
-dropped on any update.  Underneath the memo, each plan's all-pairs
-sweep state is *retained* across versions
-(:class:`~repro.rpq.incremental.DeltaSweepState`): when the store's
-change log shows only insertions since the state's version, the next
-:meth:`QuerySession.answer` resumes the semi-naive sweep from the
-inserted tuples instead of recomputing — deletions, a compacted-away
-log, or a label-domain change fall back to the full sweep (sequential
-or sharded), bit-identical either way.  Requests come in the three
+additionally on the session's label domain, which is pinned to the view
+alphabet at construction — *not* to the labels currently present in the
+store, which would shrink whenever a view's last tuple is deleted and
+needlessly recompile every plan (and orphan every retained sweep state)
+on a delete-then-reinsert; the answer memo depends on the exact store
+version and is dropped on any update.  Underneath the memo, each plan's
+all-pairs sweep state is *retained* across versions
+(:class:`~repro.rpq.incremental.DeltaSweepState`): whatever the store's
+change log shows since the state's version, the next
+:meth:`QuerySession.answer` patches it in place — insertions resume the
+semi-naive sweep, deletions run delete-rederive (DRed) — and only a
+compacted-away log falls back to the full sweep (sequential or
+sharded), bit-identical either way.  Requests come in the three
 shapes of the engine:
 :meth:`QuerySession.answer` (all pairs), :meth:`answer_from`
 (single source), and :meth:`answer_pair` (one pair, decided by the
@@ -68,8 +70,11 @@ class QuerySession:
     all-pairs sweep runs per shard, on up to ``workers`` processes
     (``workers=1`` runs the same shard kernels sequentially —
     bit-identical answers either way).  The shard partition is evaluation
-    state like any other: it is rebuilt when ``store.version`` moves and
-    never outlives the data it was cut from.  If a worker ever fails
+    state like any other — it is recut when ``store.version`` moves and
+    never outlives the data it was cut from — but the worker *pool* is
+    not: :meth:`~repro.rpq.sharded.ParallelEvaluator.refresh` reuses the
+    processes across versions, so a trickle of single-tuple updates does
+    not pay a pool spawn per tuple.  If a worker ever fails
     mid-sweep the session logs ``stats["parallel_failures"]``, answers
     the request on the sequential engine, and disables the pool for its
     remaining lifetime — a degraded session stays correct and usable.
@@ -92,6 +97,15 @@ class QuerySession:
         self.parallelism = parallelism
         self.workers = workers
         self.incremental = incremental
+        # The compile domain is the view alphabet, fixed for the session:
+        # keying on the *store's* current domain would shrink it when a
+        # view's last tuple is deleted, recompiling every plan and
+        # orphaning every retained sweep state over a transient blip.
+        # Labels outside the rewriting's alphabet never enter a compiled
+        # table, and view symbols with momentarily empty extensions just
+        # compile to transitions with no matching edges — evaluation
+        # results are identical, only cache identity is at stake.
+        self._label_domain = frozenset(self.views.symbols)
         self._evaluator: ParallelEvaluator | None = None
         self._evaluator_version = -1
         self._parallel_disabled = False
@@ -117,6 +131,8 @@ class QuerySession:
             "parallel_sweeps": 0,
             "parallel_failures": 0,
             "incremental_updates": 0,
+            "incremental_deletes": 0,
+            "rederived_bits": 0,
             "full_recomputes": 0,
             "delta_edges_applied": 0,
         }
@@ -158,7 +174,7 @@ class QuerySession:
         # plain_symbols: the rewriting is a language over Sigma_Q and view
         # symbols on the store's graph are matched by equality (``ans``).
         return _engine.compile_automaton(
-            nfa, None, self.store.graph.domain(), plain_symbols=True
+            nfa, None, self._label_domain, plain_symbols=True
         )
 
     def _known_node(self, node: Hashable) -> bool:
@@ -186,20 +202,25 @@ class QuerySession:
     def _parallel(self) -> ParallelEvaluator | None:
         """The shard evaluator for the store's *current* version, or
         ``None`` when parallel evaluation is off (no knob, shard count
-        < 2, or disabled after a worker failure).  Rebuilt whenever the
-        store's version moves: the partition is evaluation state and
-        follows the same invalidation contract as memoized answers."""
+        < 2, or disabled after a worker failure).  The partition is
+        evaluation state and follows the same invalidation contract as
+        memoized answers — recut whenever the store's version moves —
+        but the evaluator object (and its worker pool) is kept:
+        :meth:`~repro.rpq.sharded.ParallelEvaluator.refresh` ships the
+        new snapshot to the existing workers instead of respawning
+        processes per version bump."""
         if self._parallel_disabled or not self.parallelism or self.parallelism < 2:
             return None
         version = self.store.version
-        if self._evaluator is None or self._evaluator_version != version:
-            if self._evaluator is not None:
-                self._evaluator.close()  # release the stale snapshot's pool
+        if self._evaluator is None:
             self._evaluator = ParallelEvaluator(
                 self.store.graph,
                 num_shards=self.parallelism,
                 workers=self.workers,
             )
+            self._evaluator_version = version
+        elif self._evaluator_version != version:
+            self._evaluator.refresh()
             self._evaluator_version = version
         return self._evaluator
 
@@ -271,13 +292,18 @@ class QuerySession:
         """The delta-maintained sweep state for ``key``, advanced to the
         store's current version.
 
-        Pure-insert deltas are absorbed in place
-        (:meth:`~repro.rpq.incremental.DeltaSweepState.apply_insertions`
-        resumes the fixpoint from the inserted tuples); a delta with
-        deletions, a log too stale to replay, or a changed compiled
-        automaton (the label domain moved) drops the state and rebuilds
-        it with a full sweep.  With ``incremental=False`` every call is
-        a full rebuild and nothing is retained.
+        Any replayable delta is absorbed in place: insertions resume the
+        fixpoint from the inserted tuples
+        (:meth:`~repro.rpq.incremental.DeltaSweepState.apply_insertions`),
+        deletions run delete-rederive
+        (:meth:`~repro.rpq.incremental.DeltaSweepState.apply_deletions`)
+        — insertions first, since over-delete reads the live graph and
+        then also cleans up after tuples inserted and deleted within the
+        same delta window.  Only a log too stale to replay
+        (``delta_since`` returning ``None``) or a changed compiled
+        automaton drops the state and rebuilds it with a full sweep.
+        With ``incremental=False`` every call is a full rebuild and
+        nothing is retained.
         """
         version = self.store.version
         graph = self.store.graph
@@ -288,13 +314,26 @@ class QuerySession:
                 if state_version == version:
                     return state
                 delta = self.store.delta_since(state_version)
-                if delta is not None and delta.pure_insertions:
-                    state.apply_insertions(
-                        (source, symbol, target)
-                        for symbol, source, target in delta.insertions
-                    )
+                if delta is not None:
+                    if delta.insertions:
+                        state.apply_insertions(
+                            (source, symbol, target)
+                            for symbol, source, target in delta.insertions
+                        )
+                    if delta.deletions:
+                        rederived_before = state.rederived_bits
+                        state.apply_deletions(
+                            (source, symbol, target)
+                            for symbol, source, target in delta.deletions
+                        )
+                        self.stats["incremental_deletes"] += len(
+                            delta.deletions
+                        )
+                        self.stats["rederived_bits"] += (
+                            state.rederived_bits - rederived_before
+                        )
                     self.stats["incremental_updates"] += 1
-                    self.stats["delta_edges_applied"] += len(delta.insertions)
+                    self.stats["delta_edges_applied"] += delta.num_changes
                     self._delta_states[key] = (state, version)
                     return state
         state = DeltaSweepState(graph, compiled)

@@ -15,10 +15,11 @@ appends the tuple-level changes to a bounded change log
 (:meth:`MaterializedViewStore.delta_since`), which is what lets
 :class:`~repro.service.session.QuerySession` treat data changes
 precisely: compiled rewrite plans are never touched (they depend only on
-the query, the views, and the theory — not on the data), pure-insert
+the query, the views, and the theory — not on the data), and replayable
 deltas *patch* retained evaluation state forward
-(:class:`~repro.rpq.incremental.DeltaSweepState`), and deletions or
-compacted-away history drop that state for a full recompute.
+(:class:`~repro.rpq.incremental.DeltaSweepState` absorbs insertions by
+resuming the semi-naive sweep and deletions by delete-rederive); only
+compacted-away history drops that state for a full recompute.
 """
 
 from __future__ import annotations
@@ -43,12 +44,15 @@ class StoreDelta:
 
     Returned by :meth:`MaterializedViewStore.delta_since`.  Each list is
     in application order, but the interleaving *between* the two lists
-    is not preserved — a delta with deletions is a rebuild signal, not a
-    replayable script (see :meth:`~MaterializedViewStore.delta_since`).
-    A tuple inserted and later deleted inside the window appears in both
-    lists; the lists are not netted against each other.  An empty delta
-    (both tuples empty) means the store has not changed since
-    ``base_version``.
+    is not preserved — a mixed delta is not a replayable script.  It is
+    still patchable: consumers apply the insertions first and then
+    absorb the deletions with delete-rederive
+    (:meth:`~repro.rpq.incremental.DeltaSweepState.apply_deletions`),
+    which reads the live graph and therefore tolerates the lost
+    ordering.  A tuple inserted and later deleted inside the window
+    appears in both lists; the lists are not netted against each other.
+    An empty delta (both tuples empty) means the store has not changed
+    since ``base_version``.
     """
 
     base_version: int
@@ -174,12 +178,29 @@ class MaterializedViewStore:
         self._record(False, symbol, source, target)
         return True
 
+    @staticmethod
+    def _as_pairs(pairs: Iterable[Pair]) -> list[Pair]:
+        """Materialize and shape-check bulk input before any mutation.
+
+        A generator that raises mid-iteration, an element that is not a
+        2-tuple, or an unhashable endpoint must leave the store untouched
+        at an unchanged version — "equal versions imply equal contents"
+        holds even across failed bulk calls.  Unpacking checks the shape;
+        the throwaway set checks hashability.
+        """
+        materialized = [(source, target) for source, target in pairs]
+        set(materialized)
+        return materialized
+
     def add_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
         """Add tuples in bulk; returns how many were actually new.
 
         Bumps the version at most once, so a batch load invalidates
-        downstream evaluation caches a single time.
+        downstream evaluation caches a single time.  The input is
+        materialized and validated up front (:meth:`_as_pairs`): a bad
+        batch raises without touching the store.
         """
+        pairs = self._as_pairs(pairs)
         existing = self._pairs.setdefault(symbol, set())
         added: list[Pair] = []
         for source, target in pairs:
@@ -197,7 +218,12 @@ class MaterializedViewStore:
         return len(added)
 
     def remove_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
-        """Remove tuples in bulk; returns how many were actually removed."""
+        """Remove tuples in bulk; returns how many were actually removed.
+
+        Like :meth:`add_many`, the input is materialized and validated
+        before any mutation (a poisoned batch raises with the store
+        untouched)."""
+        pairs = self._as_pairs(pairs)
         existing = self._pairs.get(symbol)
         if not existing:
             return 0
@@ -217,8 +243,11 @@ class MaterializedViewStore:
         return len(removed)
 
     def replace(self, symbol: Hashable, pairs: Iterable[Pair]) -> None:
-        """Swap the whole extension of ``symbol`` (a view refresh)."""
-        new_pairs = set(pairs)
+        """Swap the whole extension of ``symbol`` (a view refresh).
+
+        The new extension is materialized and validated before the old
+        one is touched, so a failing input leaves the view as it was."""
+        new_pairs = set(self._as_pairs(pairs))
         old_pairs = self._pairs.get(symbol, set())
         if new_pairs == old_pairs:
             return
@@ -308,11 +337,11 @@ class MaterializedViewStore:
         (:attr:`oldest_replayable_version`).  A returned
         :attr:`StoreDelta.pure_insertions` delta replays exactly:
         applying its insertions to the contents at ``version`` yields
-        the current contents.  A delta containing deletions is a
-        *rebuild signal only* — the two tuples do not preserve the
-        interleaving of inserts and deletes, so a mixed delta cannot be
-        replayed (and no consumer tries: deletions always drop
-        evaluation state).
+        the current contents.  A delta containing deletions does not
+        preserve the interleaving of inserts and deletes, so it cannot
+        be replayed as a script — consumers patch it instead (insertions
+        first, then delete-rederive over the live graph; see
+        :class:`StoreDelta`).
         """
         if version > self._version or version < self._log_start:
             return None

@@ -1,11 +1,13 @@
 """DeltaSweepState: bit-identical resumption of the all-pairs sweep.
 
 The contract under test is stronger than equal answer sets: after any
-sequence of insertions, the retained ``reached`` matrices and
-``answer_masks`` must equal — bit for bit — those of a state freshly
-built on the updated graph.  Equal masks imply equal answers for *every
-future delta too*, which is why the unit layer pins masks and leaves
-answer-level comparison to the differential harness.
+sequence of insertions and deletions, the retained ``reached`` matrices
+and ``answer_masks`` must equal — bit for bit — those of a state freshly
+built on the updated graph (deletions go through delete-rederive, so
+this pins that over-deletion is fully undone and true deletions are
+fully applied).  Equal masks imply equal answers for *every future delta
+too*, which is why the unit layer pins masks and leaves answer-level
+comparison to the differential harness.
 """
 
 import random
@@ -30,7 +32,13 @@ def assert_bit_identical(state, db, compiled):
     for automaton_state, row in fresh.reached.items():
         mine = state.reached.get(automaton_state, [0] * state.num_nodes)
         assert mine == row, f"reached[{automaton_state}] diverged"
+    for automaton_state, row in state.reached.items():
+        if automaton_state not in fresh.reached:
+            # Rows a fresh sweep never materializes may linger in a
+            # maintained state, but only as all-zero husks.
+            assert not any(row), f"ghost bits in reached[{automaton_state}]"
     assert state.answers_sorted() == engine_mod.evaluate_all_sorted(db, compiled)
+    assert state.answers() == engine_mod.evaluate_all(db, compiled)
 
 
 class TestSingleInsertions:
@@ -181,6 +189,134 @@ class TestRandomized:
                 assert_bit_identical(state, db, compiled)
 
 
+class TestDeletions:
+    def test_single_delete_breaks_the_only_path(self):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        assert state.answers() == frozenset({("x", "z")})
+        db.remove_edge("y", "b", "z")
+        removed = state.apply_deletions([("y", "b", "z")])
+        assert removed == 1
+        assert state.edges_deleted == 1
+        assert state.answers() == frozenset()
+        assert_bit_identical(state, db, compiled)
+
+    def test_redundant_path_is_rederived_not_lost(self):
+        """Over-deletion must be undone when an alternate derivation
+        survives; the counter proves re-derivation actually ran."""
+        db = GraphDB(
+            [("x", "a", "y"), ("x", "a", "w"), ("y", "b", "z"), ("w", "b", "z")]
+        )
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        db.remove_edge("y", "b", "z")
+        state.apply_deletions([("y", "b", "z")])
+        assert state.answers() == frozenset({("x", "z")})
+        assert state.overdeleted_bits > 0
+        assert state.rederived_bits > 0
+        assert_bit_identical(state, db, compiled)
+
+    def test_delete_inside_a_cycle_under_a_star(self):
+        db = GraphDB([("x", "a", "y"), ("y", "a", "z"), ("z", "a", "x")])
+        compiled = compiled_for("a*")
+        state = DeltaSweepState(db, compiled)
+        db.remove_edge("z", "a", "x")
+        state.apply_deletions([("z", "a", "x")])
+        answers = state.answers()
+        assert ("x", "z") in answers and ("z", "x") not in answers
+        assert ("z", "z") in answers  # epsilon diagonal survives
+        assert_bit_identical(state, db, compiled)
+
+    def test_deleting_a_nodes_last_edge_keeps_its_diagonal(self):
+        db = GraphDB([("x", "a", "y")])
+        compiled = compiled_for("a*")
+        state = DeltaSweepState(db, compiled)
+        db.remove_edge("x", "a", "y")
+        state.apply_deletions([("x", "a", "y")])
+        assert state.answers() == frozenset({("x", "x"), ("y", "y")})
+        assert_bit_identical(state, db, compiled)
+
+    def test_unmatched_label_is_a_cheap_noop(self):
+        db = GraphDB([("x", "a", "y"), ("x", "c", "y")])
+        compiled = compiled_for("a")
+        state = DeltaSweepState(db, compiled)
+        before = list(state.answer_masks)
+        db.remove_edge("x", "c", "y")
+        state.apply_deletions([("x", "c", "y")])
+        assert state.answer_masks == before
+        assert state.overdeleted_bits == 0
+        assert_bit_identical(state, db, compiled)
+
+    def test_batch_delete_of_a_chained_pair(self):
+        """Both edges of one derivation deleted in a single batch — the
+        candidate collection must read intact masks for each edge."""
+        db = GraphDB(
+            [("x", "a", "y"), ("y", "b", "z"), ("x", "a", "p"), ("p", "b", "q")]
+        )
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        batch = [("x", "a", "y"), ("y", "b", "z")]
+        for edge in batch:
+            db.remove_edge(*edge)
+        state.apply_deletions(batch)
+        assert state.edges_deleted == 2
+        assert state.answers() == frozenset({("x", "q")})
+        assert_bit_identical(state, db, compiled)
+
+    def test_delete_then_reinsert_roundtrips(self):
+        db = GraphDB([("x", "a", "y"), ("y", "b", "z")])
+        compiled = compiled_for("a.b")
+        state = DeltaSweepState(db, compiled)
+        before = list(state.answer_masks)
+        db.remove_edge("x", "a", "y")
+        state.apply_deletions([("x", "a", "y")])
+        db.add_edge("x", "a", "y")
+        state.apply_insertions([("x", "a", "y")])
+        assert state.answer_masks == before
+        assert_bit_identical(state, db, compiled)
+
+    def test_repr_reports_deletions(self):
+        db = GraphDB([("x", "a", "y")])
+        state = DeltaSweepState(db, compiled_for("a"))
+        db.remove_edge("x", "a", "y")
+        state.apply_deletions([("x", "a", "y")])
+        assert "edges_deleted=1" in repr(state)
+
+
+class TestRandomizedDeletions:
+    @pytest.mark.parametrize("query", ["a", "a.b", "(a+b)*", "a.(b+c)*", "b*.c"])
+    def test_random_mixed_sequences_stay_bit_identical(self, query):
+        rng = random.Random(f"incremental-dred-{query}")
+        compiled = compiled_for(query)
+        for _trial in range(15):
+            node_count = rng.randrange(2, 10)
+            nodes = [f"n{i}" for i in range(node_count)]
+            db = GraphDB(nodes=nodes)
+            present = set()
+            for _ in range(rng.randrange(1, 3 * node_count)):
+                edge = (
+                    rng.choice(nodes), rng.choice(LABELS), rng.choice(nodes)
+                )
+                db.add_edge(*edge)
+                present.add(edge)
+            state = DeltaSweepState(db, compiled)
+            for _step in range(rng.randrange(1, 12)):
+                if present and rng.random() < 0.45:
+                    edge = rng.choice(sorted(present))
+                    present.discard(edge)
+                    db.remove_edge(*edge)
+                    state.apply_deletions([edge])
+                else:
+                    edge = (
+                        rng.choice(nodes), rng.choice(LABELS), rng.choice(nodes)
+                    )
+                    db.add_edge(*edge)
+                    present.add(edge)
+                    state.apply_insertions([edge])
+                assert_bit_identical(state, db, compiled)
+
+
 class TestErrors:
     def test_unknown_node_raises_keyerror(self):
         """Edges must be applied to the graph before being absorbed."""
@@ -188,6 +324,12 @@ class TestErrors:
         state = DeltaSweepState(db, compiled_for("a"))
         with pytest.raises(KeyError):
             state.apply_insertions([("ghost", "a", "y")])
+
+    def test_deleting_an_unknown_node_raises_keyerror(self):
+        db = GraphDB([("x", "a", "y")])
+        state = DeltaSweepState(db, compiled_for("a"))
+        with pytest.raises(KeyError):
+            state.apply_deletions([("ghost", "a", "y")])
 
     def test_repr_reports_progress(self):
         db = GraphDB([("x", "a", "y")])

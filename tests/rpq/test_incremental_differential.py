@@ -4,8 +4,9 @@ Three ways to answer a view-based query over an evolving store must
 agree at every step of every seeded update stream:
 
 * an **incremental** :class:`~repro.service.session.QuerySession`
-  (retained :class:`~repro.rpq.incremental.DeltaSweepState`, pure-insert
-  deltas absorbed in place, everything else a full rebuild);
+  (retained :class:`~repro.rpq.incremental.DeltaSweepState`; insert
+  deltas resume the sweep, delete deltas run delete-rederive — every
+  replayable delta patches in place);
 * a **full-recompute** session (``incremental=False`` — one fresh sweep
   per version);
 * the **naive oracle** — :func:`repro.rpq.evaluation.naive_ans` of the
@@ -14,11 +15,15 @@ agree at every step of every seeded update stream:
 
 Streams come from :func:`repro.rpq.workload.make_update_stream` — the
 same generator the benchmark uses — drawn by hypothesis across workload
-families, seeds, insert-only and mixed insert/delete mixes, and with
-``parallelism`` both off and on (with parallelism, deltas route to full
-*sharded* sweeps; answers must not care).  All-pairs answers are
-compared as sorted lists, pinning the ordering guarantee alongside the
-answer sets.
+families, seeds, and mixes from insert-only through delete-only
+(``delete_fraction`` up to 1.0, with and without delete-then-reinsert
+pressure), and with ``parallelism`` both off and on (with parallelism,
+deltas route to full *sharded* sweeps; answers must not care).  Directed
+regressions cover the known sharp edges: deleting a node's last
+incident edge (its epsilon diagonal must survive), reinserting the
+exact tuple just deleted, and multi-op mixed batches absorbed as one
+delta.  All-pairs answers are compared as sorted lists, pinning the
+ordering guarantee alongside the answer sets.
 """
 
 from hypothesis import given, settings
@@ -78,15 +83,22 @@ def maintenance_cases(draw):
     seed = draw(st.integers(min_value=0, max_value=999_999))
     edges = draw(st.integers(min_value=4, max_value=30))
     count = draw(st.integers(min_value=1, max_value=12))
-    delete_fraction = draw(st.sampled_from((0.0, 0.3, 0.6)))
+    delete_fraction = draw(st.sampled_from((0.0, 0.3, 0.6, 1.0)))
+    reinsert_fraction = draw(st.sampled_from((0.0, 0.5)))
     parallelism = draw(st.sampled_from((None, 3)))
-    return family, seed, edges, count, delete_fraction, parallelism
+    return (
+        family, seed, edges, count,
+        delete_fraction, reinsert_fraction, parallelism,
+    )
 
 
 @settings(max_examples=50, deadline=None)
 @given(case=maintenance_cases())
 def test_incremental_equals_full_equals_naive_under_updates(case):
-    family, seed, edges, count, delete_fraction, parallelism = case
+    (
+        family, seed, edges, count,
+        delete_fraction, reinsert_fraction, parallelism,
+    ) = case
     store, views, theory, queries = elementary_setup(family, seed, edges)
     query = queries[seed % len(queries)]
     incremental = QuerySession(store, views, theory, parallelism=parallelism)
@@ -97,12 +109,15 @@ def test_incremental_equals_full_equals_naive_under_updates(case):
         count=count,
         base={symbol: store.extension(symbol) for symbol in store.symbols},
         delete_fraction=delete_fraction,
+        reinsert_fraction=reinsert_fraction,
     )
     expected = full.answer_sorted(query)
     assert incremental.answer_sorted(query) == expected
     assert oracle_sorted(full, query) == expected
+    deletes = 0
     for op in stream:
         assert apply_op(store, op)
+        deletes += op.op == "delete"
         expected = full.answer_sorted(query)
         assert incremental.answer_sorted(query) == expected
         assert oracle_sorted(full, query) == expected
@@ -110,11 +125,13 @@ def test_incremental_equals_full_equals_naive_under_updates(case):
         # Sharded sessions route every delta to a full sharded sweep.
         assert incremental.stats["incremental_updates"] == 0
         assert incremental.stats["parallel_sweeps"] >= 1
-    elif delete_fraction == 0.0 and count >= 4:
-        # Insert-only streams must actually exercise the delta path (a
-        # first tuple on a previously-empty view grows the label domain
-        # and legitimately recompiles+rebuilds, hence >= 1, not == count).
-        assert incremental.stats["incremental_updates"] >= 1
+    else:
+        # Every step — insert, delete, or mixed — patched in place; the
+        # only full sweep is the initial build (the compile domain is
+        # pinned to the view alphabet, so no update recompiles).
+        assert incremental.stats["incremental_updates"] == len(stream)
+        assert incremental.stats["full_recomputes"] == 1
+        assert incremental.stats["incremental_deletes"] == deletes
 
 
 @settings(max_examples=20, deadline=None)
@@ -123,8 +140,8 @@ def test_incremental_equals_full_equals_naive_under_updates(case):
     seed=st.integers(min_value=0, max_value=99_999),
 )
 def test_mixed_stream_statistics_are_consistent(family, seed):
-    """Inserts advance the state, deletes rebuild it: the session's
-    counters must reflect exactly which path each step took."""
+    """Every step patches in place — inserts resume the sweep, deletes
+    run delete-rederive — and the counters must say so exactly."""
     store, views, theory, _queries = elementary_setup(family, seed, edges=10)
     query = _LABELS[family][0]
     session = QuerySession(store, views, theory)
@@ -146,10 +163,95 @@ def test_mixed_stream_statistics_are_consistent(family, seed):
         else:
             deletes += 1
     stats = session.stats
-    # Every step took exactly one of the two paths (plus the initial
-    # build); deletions always rebuild; an insert normally patches, but
-    # may legitimately rebuild when it grows the label domain (first
-    # tuple of an empty view recompiles the automaton).
-    assert stats["incremental_updates"] + stats["full_recomputes"] == 1 + len(stream)
-    assert stats["incremental_updates"] <= inserts
-    assert stats["full_recomputes"] >= 1 + deletes
+    assert stats["full_recomputes"] == 1  # the initial build, nothing else
+    assert stats["incremental_updates"] == len(stream)
+    assert stats["incremental_deletes"] == deletes
+    assert stats["delta_edges_applied"] == len(stream)
+
+
+def _assert_all_agree(incremental, full, query):
+    expected = full.answer_sorted(query)
+    assert incremental.answer_sorted(query) == expected
+    assert oracle_sorted(full, query) == expected
+    return expected
+
+
+class TestDeletionRegressions:
+    """Directed cases for the sharp edges of delete-rederive."""
+
+    def _sessions(self, family, seed, edges):
+        store, views, theory, queries = elementary_setup(family, seed, edges)
+        incremental = QuerySession(store, views, theory)
+        full = QuerySession(store, views, theory, incremental=False)
+        return store, incremental, full, queries
+
+    def test_delete_only_stream_down_to_empty(self):
+        """delete_fraction=1.0: drain every tuple the store has, one op
+        at a time, comparing all three answerers at each step."""
+        store, incremental, full, queries = self._sessions("grid", 7, 12)
+        query = queries[0]
+        _assert_all_agree(incremental, full, query)
+        for symbol, source, target in sorted(
+            (symbol, source, target)
+            for symbol in store.symbols
+            for source, target in store.extension(symbol)
+        ):
+            assert store.remove(symbol, source, target)
+            _assert_all_agree(incremental, full, query)
+        assert store.num_tuples == 0
+        assert incremental.stats["full_recomputes"] == 1
+
+    def test_delete_then_reinsert_same_tuple(self):
+        store, incremental, full, queries = self._sessions("chain", 3, 8)
+        query = queries[1]
+        before = _assert_all_agree(incremental, full, query)
+        symbol = sorted(store.symbols)[0]
+        source, target = sorted(store.extension(symbol))[0]
+        assert store.remove(symbol, source, target)
+        _assert_all_agree(incremental, full, query)
+        assert store.add(symbol, source, target)
+        after = _assert_all_agree(incremental, full, query)
+        assert after == before
+        assert incremental.stats["full_recomputes"] == 1
+        assert incremental.stats["incremental_updates"] == 2
+
+    def test_deleting_a_nodes_last_incident_edge(self):
+        """The node stays in the universe (interning is append-only), so
+        a starred query must keep its reflexive epsilon answer."""
+        store = MaterializedViewStore({"v_a": [("x", "y")], "v_b": [("y", "x")]})
+        views = RPQViews({"v_a": "a", "v_b": "b"})
+        theory = Theory.trivial({"a", "b"})
+        incremental = QuerySession(store, views, theory)
+        full = QuerySession(store, views, theory, incremental=False)
+        query = "(a+b)*"
+        _assert_all_agree(incremental, full, query)
+        assert store.remove("v_b", "y", "x")
+        expected = _assert_all_agree(incremental, full, query)
+        assert ("y", "y") in expected  # epsilon diagonal survived
+        assert store.remove("v_a", "x", "y")  # y is now fully isolated
+        expected = _assert_all_agree(incremental, full, query)
+        assert set(expected) == {("x", "x"), ("y", "y")}
+        assert incremental.stats["full_recomputes"] == 1
+        assert incremental.stats["incremental_deletes"] == 2
+
+    def test_interleaved_mixed_batches_absorbed_as_one_delta(self):
+        """Several ops land between answers: the session sees one mixed
+        delta per batch and must still match full recompute + oracle."""
+        store, incremental, full, queries = self._sessions("scale_free", 11, 20)
+        query = queries[2]
+        stream = make_update_stream(
+            "scale_free",
+            11,
+            count=15,
+            base={symbol: store.extension(symbol) for symbol in store.symbols},
+            delete_fraction=0.4,
+            reinsert_fraction=0.5,
+        )
+        _assert_all_agree(incremental, full, query)
+        batches = [stream[i : i + 3] for i in range(0, len(stream), 3)]
+        for batch in batches:
+            for op in batch:
+                assert apply_op(store, op)
+            _assert_all_agree(incremental, full, query)
+        assert incremental.stats["full_recomputes"] == 1
+        assert incremental.stats["incremental_updates"] == len(batches)

@@ -304,6 +304,57 @@ def test_update_stream_delete_fraction_zero_is_insert_only():
     assert sum(len(pairs) for pairs in final.values()) == 31
 
 
+def test_update_stream_reinsert_zero_is_backward_deterministic():
+    """``reinsert_fraction=0.0`` consumes no randomness and stays out of
+    the seed key, so streams are byte-identical to those generated
+    before the knob existed (i.e. without passing it at all)."""
+    base = {"v_a": [("n0", "n1"), ("n1", "n2"), ("n2", "n0")]}
+    for family in FAMILIES:
+        legacy = make_update_stream(
+            family, seed=9, count=40, base=base, delete_fraction=0.5
+        )
+        explicit = make_update_stream(
+            family, seed=9, count=40, base=base, delete_fraction=0.5,
+            reinsert_fraction=0.0,
+        )
+        assert legacy == explicit
+
+
+def test_update_stream_reinserts_previously_deleted_tuples():
+    base = {
+        "v_a": [(f"n{i}", f"n{i + 1}") for i in range(8)],
+        "v_b": [(f"n{i + 1}", f"n{i}") for i in range(8)],
+    }
+    ops = make_update_stream(
+        "grid", seed=4, count=80, base=base, delete_fraction=0.5,
+        reinsert_fraction=1.0, symbols=("v_a", "v_b"),
+    )
+    _replay(ops, base)  # still effective at every step
+    deleted = set()
+    reinserts = 0
+    for op in ops:
+        key = (op.symbol, op.source, op.target)
+        if op.op == "delete":
+            deleted.add(key)
+        elif key in deleted:
+            reinserts += 1
+            deleted.discard(key)
+    assert reinserts > 0
+    assert any(op.op == "delete" for op in ops)
+
+
+def test_update_stream_reinsert_changes_the_stream():
+    base = {"v_a": [(f"n{i}", f"n{i + 1}") for i in range(6)]}
+    plain = make_update_stream(
+        "chain", seed=8, count=50, base=base, delete_fraction=0.5
+    )
+    pressured = make_update_stream(
+        "chain", seed=8, count=50, base=base, delete_fraction=0.5,
+        reinsert_fraction=1.0,
+    )
+    assert plain != pressured
+
+
 def test_update_stream_mints_fresh_nodes():
     ops = make_update_stream(
         "chain", seed=6, count=40, base={"v_a": [("n0", "n1")]},
@@ -337,5 +388,9 @@ def test_update_stream_bad_arguments_rejected():
         make_update_stream("chain", seed=0, count=5, delete_fraction=1.5)
     with pytest.raises(ValueError):
         make_update_stream("chain", seed=0, count=5, fresh_node_fraction=-0.1)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=5, reinsert_fraction=1.01)
+    with pytest.raises(ValueError):
+        make_update_stream("chain", seed=0, count=5, reinsert_fraction=-0.5)
     with pytest.raises(ValueError):
         make_update_stream("chain", seed=0, count=5, symbols=())

@@ -114,6 +114,65 @@ class TestBulkGenerators:
         assert "q9" not in store
 
 
+def _poisoned(good, exc=RuntimeError):
+    yield from good
+    raise exc("boom mid-iteration")
+
+
+class TestBulkAtomicity:
+    """Bulk mutations validate and materialize their input *before*
+    touching the store: a generator that raises (or yields garbage)
+    partway through must leave contents, version, and change log exactly
+    as they were."""
+
+    def _frozen(self, store):
+        version, extensions = store.snapshot()
+        log = store.delta_since(0)
+        return version, extensions, log and (log.insertions, log.deletions)
+
+    def test_poisoned_add_many_leaves_store_untouched(self, store):
+        before = self._frozen(store)
+        with pytest.raises(RuntimeError, match="boom"):
+            store.add_many("q1", _poisoned([("p1", "p2"), ("p2", "p3")]))
+        assert self._frozen(store) == before
+        assert ("p1", "p2") not in store.extension("q1")
+
+    def test_poisoned_add_many_on_fresh_symbol_creates_nothing(self, store):
+        with pytest.raises(RuntimeError):
+            store.add_many("q_new", _poisoned([("p1", "p2")]))
+        assert "q_new" not in store
+
+    def test_poisoned_remove_many_leaves_store_untouched(self, store):
+        before = self._frozen(store)
+        with pytest.raises(RuntimeError, match="boom"):
+            store.remove_many("q1", _poisoned([("u", "v"), ("w", "v")]))
+        assert self._frozen(store) == before
+        assert ("u", "v") in store.extension("q1")
+
+    def test_poisoned_replace_leaves_store_untouched(self, store):
+        before = self._frozen(store)
+        with pytest.raises(RuntimeError, match="boom"):
+            store.replace("q2", _poisoned([("a", "b")]))
+        assert self._frozen(store) == before
+        assert store.extension("q2") == {("v", "z")}
+
+    def test_bad_shape_rejected_before_mutation(self, store):
+        before = self._frozen(store)
+        with pytest.raises((TypeError, ValueError)):
+            store.add_many("q1", [("p1", "p2"), ("only-one-element",)])
+        with pytest.raises((TypeError, ValueError)):
+            store.remove_many("q1", [("u", "v"), "not-a-pair-at-all"])
+        assert self._frozen(store) == before
+
+    def test_unhashable_pair_rejected_before_mutation(self, store):
+        before = self._frozen(store)
+        with pytest.raises(TypeError):
+            store.add_many("q1", [("p1", "p2"), (["list"], "p3")])
+        with pytest.raises(TypeError):
+            store.replace("q2", [(["list"], "p3")])
+        assert self._frozen(store) == before
+
+
 class TestChangeLog:
     def test_delta_since_current_version_is_empty(self, store):
         delta = store.delta_since(store.version)
