@@ -60,9 +60,36 @@ __all__ = [
     "evaluate_all_sorted",
     "evaluate_single_source",
     "evaluate_pair",
+    "resolve_backend",
+    "NUMPY_BACKEND_MIN_EDGES",
 ]
 
 Pair = tuple[Hashable, Hashable]
+
+# Auto backend selection: below this edge count the big-int sweep's tiny
+# constant factors win; at or above it the vectorized numpy kernel
+# (:mod:`repro.rpq.kernel`) amortizes its setup and pulls ahead — the
+# crossover is measured by ``benchmarks/bench_vectorized_sweep.py``.
+NUMPY_BACKEND_MIN_EDGES = 8192
+
+_BACKENDS = ("auto", "bigint", "numpy")
+
+
+def resolve_backend(db: GraphDB, backend: str = "auto") -> str:
+    """Pick the concrete all-pairs sweep backend for ``db``.
+
+    ``"bigint"`` and ``"numpy"`` are honoured as given (the big-int
+    sweep stays available as the differential oracle for the kernel);
+    ``"auto"`` selects numpy once the graph is large enough for the
+    vectorized sweep to win (``NUMPY_BACKEND_MIN_EDGES``).
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    return "numpy" if db.num_edges >= NUMPY_BACKEND_MIN_EDGES else "bigint"
 
 
 class CompiledAutomaton:
@@ -277,7 +304,9 @@ def _trim_useless_states(
 # ----------------------------------------------------------------------
 
 
-def evaluate_all(db: GraphDB, compiled: CompiledAutomaton) -> frozenset[Pair]:
+def evaluate_all(
+    db: GraphDB, compiled: CompiledAutomaton, *, backend: str = "auto"
+) -> frozenset[Pair]:
     """All pairs ``(x, y)`` with a matching path, in one shared sweep.
 
     Semi-naive evaluation of the product reachability relation: for each
@@ -295,12 +324,12 @@ def evaluate_all(db: GraphDB, compiled: CompiledAutomaton) -> frozenset[Pair]:
     node_at = db.node_at
     return frozenset(
         (node_at(source_id), node_at(target_id))
-        for source_id, target_id in _all_pairs_ids(db, compiled)
+        for source_id, target_id in _all_pairs_ids(db, compiled, backend)
     )
 
 
 def evaluate_all_sorted(
-    db: GraphDB, compiled: CompiledAutomaton
+    db: GraphDB, compiled: CompiledAutomaton, *, backend: str = "auto"
 ) -> list[Pair]:
     """All answer pairs, sorted by ``(node_id(x), node_id(y))``.
 
@@ -313,7 +342,7 @@ def evaluate_all_sorted(
     the same key — which is what lets differential harnesses compare
     whole lists byte for byte instead of set-compare only.
     """
-    id_pairs = _all_pairs_ids(db, compiled)
+    id_pairs = _all_pairs_ids(db, compiled, backend)
     id_pairs.sort()
     node_at = db.node_at
     return [
@@ -439,11 +468,21 @@ def _decode_answer_masks(answer_masks: list[int]) -> list[tuple[int, int]]:
 
 
 def _all_pairs_ids(
-    db: GraphDB, compiled: CompiledAutomaton
+    db: GraphDB, compiled: CompiledAutomaton, backend: str = "auto"
 ) -> list[tuple[int, int]]:
-    """The all-pairs sweep, decoded to dense-id pairs (unordered)."""
+    """The all-pairs sweep, decoded to dense-id pairs.
+
+    The big-int path returns pairs in mask-decode order (unordered); the
+    numpy path returns them sorted.  Both callers either sort or build a
+    set, so the orders are interchangeable — the *pair sets* are
+    bit-identical by the kernel's exactness contract.
+    """
     if db.num_nodes == 0 or not compiled.initials:
         return []
+    if resolve_backend(db, backend) == "numpy":
+        from . import kernel as _kernel
+
+        return _kernel.all_pairs_ids(db.to_csr(), compiled)
     reached, frontier, answer_masks = _seed_all_pairs(db, compiled)
     _sweep_to_fixpoint(db, compiled, reached, frontier, answer_masks)
     return _decode_answer_masks(answer_masks)

@@ -42,6 +42,16 @@ class GraphDB:
         self._out: dict[Hashable, dict[int, set[int]]] = {}
         self._in: dict[Hashable, dict[int, set[int]]] = {}
         self._num_edges = 0
+        # Monotone counter bumped on every *effective* mutation (a new
+        # node interned, an edge actually added or removed); no-op calls
+        # leave it unchanged, so equality of counters implies structural
+        # equality of two observations of the same instance.  Consumed
+        # by the CSR snapshot cache below and by
+        # :meth:`repro.rpq.sharded.ParallelEvaluator.refresh` to skip
+        # re-partitioning after no-op updates.
+        self._mutations = 0
+        self._csr_cache = None
+        self._csr_cache_mutations = -1
         for node in nodes:
             self.add_node(node)
         for source, label, target in edges:
@@ -56,6 +66,7 @@ class GraphDB:
             node_id = len(self._node_of)
             self._id_of[node] = node_id
             self._node_of.append(node)
+            self._mutations += 1
         return node_id
 
     def add_node(self, node: Hashable) -> None:
@@ -70,6 +81,7 @@ class GraphDB:
             targets.add(target_id)
             self._in.setdefault(label, {}).setdefault(target_id, set()).add(source_id)
             self._num_edges += 1
+            self._mutations += 1
 
     def remove_edge(
         self, source: Hashable, label: Hashable, target: Hashable
@@ -103,6 +115,7 @@ class GraphDB:
         if not self._in[label]:
             del self._in[label]
         self._num_edges -= 1
+        self._mutations += 1
         return True
 
     def add_path(
@@ -149,6 +162,30 @@ class GraphDB:
     @property
     def num_edges(self) -> int:
         return self._num_edges
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotone counter of effective mutations (see ``__init__``)."""
+        return self._mutations
+
+    def to_csr(self):
+        """A frozen :class:`~repro.rpq.csr.CSRSnapshot` of the current
+        contents, cached until the next effective mutation.
+
+        The snapshot covers every *interned* node — ``num_nodes`` rows,
+        not ``len(domain())`` — so drained stores (nodes kept alive by
+        :meth:`remove_edge`'s id-stability contract) snapshot with empty
+        CSR rows rather than shifted ids.
+        """
+        if (
+            self._csr_cache is None
+            or self._csr_cache_mutations != self._mutations
+        ):
+            from .csr import CSRSnapshot
+
+            self._csr_cache = CSRSnapshot.from_graph(self)
+            self._csr_cache_mutations = self._mutations
+        return self._csr_cache
 
     def domain(self) -> frozenset[Hashable]:
         """The set of edge labels actually used (a subset of the domain D)."""

@@ -62,7 +62,7 @@ from . import engine as _engine
 from .engine import CompiledAutomaton
 from .graphdb import GraphDB
 
-__all__ = ["DeltaSweepState"]
+__all__ = ["DeltaSweepState", "NumpyDeltaSweepState", "make_delta_state"]
 
 Pair = tuple[Hashable, Hashable]
 Edge = tuple[Hashable, Hashable, Hashable]  # (source, label, target)
@@ -461,3 +461,448 @@ class DeltaSweepState:
             f"edges_applied={self.edges_applied}, "
             f"edges_deleted={self.edges_deleted})"
         )
+
+
+class NumpyDeltaSweepState:
+    """The block-bitmatrix twin of :class:`DeltaSweepState`.
+
+    Same maintenance discipline — semi-naive insertion resume plus DRed
+    for deletions — but the per-state masks live as ``(num_nodes, B)``
+    uint64 block matrices (``B = ceil(num_nodes / 64)``), so the initial
+    build is the vectorized :func:`repro.rpq.kernel.sweep_window` over
+    the store's cached CSR snapshot rather than the big-int engine sweep.
+    Delta absorption works on individual *block rows* (``(B,)`` uint64
+    vectors): a consequence cone of a one-tuple update touches a handful
+    of rows, so the per-row numpy ops replace big-int AND/OR at the same
+    asymptotic cost while keeping the settled matrices in the layout the
+    kernel produced — no bigint⇄matrix conversion at the build/maintain
+    boundary.
+
+    Validity contract, idempotence, and bit-identity to a from-scratch
+    rebuild are exactly :class:`DeltaSweepState`'s; the differential
+    harness holds both classes to the same oracle.
+    """
+
+    __slots__ = (
+        "db",
+        "compiled",
+        "num_nodes",
+        "num_blocks",
+        "reached",
+        "answers_matrix",
+        "edges_applied",
+        "edges_deleted",
+        "overdeleted_bits",
+        "rederived_bits",
+        "_pairs",
+        "_masks_snapshot",
+    )
+
+    def __init__(self, db: GraphDB, compiled: CompiledAutomaton):
+        import numpy as np
+
+        from . import kernel as _kernel
+        from .csr import blocks_for
+
+        self.db = db
+        self.compiled = compiled
+        self.num_nodes = db.num_nodes
+        self.num_blocks = blocks_for(self.num_nodes)
+        reached: dict[int, "np.ndarray"] = {}
+        self.answers_matrix = _kernel.sweep_window(
+            db.to_csr(), compiled, reached_out=reached
+        )
+        self.reached = reached
+        self.edges_applied = 0
+        self.edges_deleted = 0
+        self.overdeleted_bits = 0
+        self.rederived_bits = 0
+        self._pairs: set[Pair] = set()
+        self._masks_snapshot = np.zeros_like(self.answers_matrix)
+        self._sync_pairs()
+
+    # ------------------------------------------------------------------
+    # Block-row helpers
+    # ------------------------------------------------------------------
+    def _state_rows(self, state: int):
+        import numpy as np
+
+        rows = self.reached.get(state)
+        if rows is None:
+            rows = self.reached[state] = np.zeros(
+                (self.num_nodes, self.num_blocks), dtype=np.uint64
+            )
+        return rows
+
+    @staticmethod
+    def _has_bit(row, node: int) -> bool:
+        import numpy as np
+
+        return bool(row[node >> 6] & (np.uint64(1) << np.uint64(node & 63)))
+
+    @staticmethod
+    def _set_bit(row, node: int) -> None:
+        import numpy as np
+
+        row[node >> 6] |= np.uint64(1) << np.uint64(node & 63)
+
+    def _bit_row(self, node: int):
+        import numpy as np
+
+        row = np.zeros(self.num_blocks, dtype=np.uint64)
+        self._set_bit(row, node)
+        return row
+
+    def _sweep_rows_to_fixpoint(self, frontier) -> None:
+        """Resume the product fixpoint from per-row deltas.
+
+        The block-row analogue of :func:`repro.rpq.engine._sweep_to_fixpoint`:
+        frontier buckets map node → ``(B,)`` delta vector, expansion reads
+        the **live** adjacency (so edges inserted mid-batch participate),
+        and final-state deltas are OR-ed into the answers matrix.
+        """
+        db = self.db
+        compiled = self.compiled
+        table = compiled.table
+        finals = compiled.finals
+        answers = self.answers_matrix
+        while frontier:
+            next_frontier: dict[int, dict[int, object]] = {}
+            for state, bucket in frontier.items():
+                row = table.get(state)
+                if not row:
+                    continue
+                for label, next_states in row.items():
+                    adjacency = db.label_out_index(label)
+                    if not adjacency:
+                        continue
+                    for node, delta in bucket.items():
+                        targets = adjacency.get(node)
+                        if not targets:
+                            continue
+                        for next_state in next_states:
+                            next_rows = self._state_rows(next_state)
+                            is_final = next_state in finals
+                            for w in targets:
+                                new = delta & ~next_rows[w]
+                                if not new.any():
+                                    continue
+                                next_rows[w] |= new
+                                dest = next_frontier.setdefault(next_state, {})
+                                if w in dest:
+                                    dest[w] |= new
+                                else:
+                                    dest[w] = new.copy()
+                                if is_final:
+                                    answers[w] |= new
+            frontier = next_frontier
+
+    # ------------------------------------------------------------------
+    # Delta absorption (same contracts as DeltaSweepState)
+    # ------------------------------------------------------------------
+    def apply_insertions(self, edges: Iterable[Edge]) -> int:
+        """Block-row :meth:`DeltaSweepState.apply_insertions`."""
+        db = self.db
+        compiled = self.compiled
+        if db.num_nodes > self.num_nodes:
+            self._grow(db.num_nodes)
+        table = compiled.table
+        initials = compiled.initials
+        finals = compiled.finals
+        answers = self.answers_matrix
+        node_id = db.node_id
+        frontier: dict[int, dict[int, object]] = {}
+        applied = 0
+        for source, label, target in edges:
+            applied += 1
+            u = node_id(source)
+            v = node_id(target)
+            for state, row in table.items():
+                next_states = row.get(label)
+                if next_states is None:
+                    continue
+                state_rows = self._state_rows(state)
+                if state in initials and not self._has_bit(state_rows[u], u):
+                    self._set_bit(state_rows[u], u)
+                    bucket = frontier.setdefault(state, {})
+                    if u in bucket:
+                        self._set_bit(bucket[u], u)
+                    else:
+                        bucket[u] = self._bit_row(u)
+                sources = state_rows[u]
+                if not sources.any():
+                    continue
+                for next_state in next_states:
+                    next_rows = self._state_rows(next_state)
+                    delta = sources & ~next_rows[v]
+                    if not delta.any():
+                        continue
+                    next_rows[v] |= delta
+                    bucket = frontier.setdefault(next_state, {})
+                    if v in bucket:
+                        bucket[v] |= delta
+                    else:
+                        bucket[v] = delta.copy()
+                    if next_state in finals:
+                        answers[v] |= delta
+        if frontier:
+            self._sweep_rows_to_fixpoint(frontier)
+        self.edges_applied += applied
+        return applied
+
+    def apply_deletions(self, edges: Iterable[Edge]) -> int:
+        """Block-row :meth:`DeltaSweepState.apply_deletions` (DRed)."""
+        import numpy as np
+
+        db = self.db
+        compiled = self.compiled
+        if db.num_nodes > self.num_nodes:
+            self._grow(db.num_nodes)
+        table = compiled.table
+        rtable = compiled.rtable
+        initials = compiled.initials
+        finals = compiled.finals
+        reached = self.reached
+        answers = self.answers_matrix
+        node_id = db.node_id
+        label_out = db.label_out_index
+        label_in = db.label_in_index
+
+        # Phase 1: direct removal candidates, against the intact rows.
+        candidates: dict[tuple[int, int], object] = {}
+
+        def _accumulate(key, bits) -> None:
+            if key in candidates:
+                candidates[key] |= bits
+            else:
+                candidates[key] = bits.copy()
+
+        deleted = 0
+        for source, label, target in edges:
+            deleted += 1
+            u = node_id(source)
+            v = node_id(target)
+            for state, row in table.items():
+                next_states = row.get(label)
+                if next_states is None:
+                    continue
+                state_rows = reached.get(state)
+                if state_rows is None:
+                    continue
+                sources = state_rows[u]
+                if not sources.any():
+                    continue
+                if state in initials and self._has_bit(sources, u):
+                    _accumulate((state, u), self._bit_row(u))
+                for next_state in next_states:
+                    next_rows = reached.get(next_state)
+                    if next_rows is None:
+                        continue
+                    endangered = sources & next_rows[v]
+                    if endangered.any():
+                        _accumulate((next_state, v), endangered)
+        self.edges_deleted += deleted
+        if not candidates:
+            return deleted
+
+        # Phase 2: over-delete through the live product adjacency.
+        overdeleted: dict[tuple[int, int], object] = {}
+        worklist = list(candidates.items())
+        while worklist:
+            (state, node), bits = worklist.pop()
+            state_rows = reached.get(state)
+            if state_rows is None:
+                continue
+            clearing = bits & state_rows[node]
+            if not clearing.any():
+                continue
+            state_rows[node] &= ~clearing
+            key = (state, node)
+            if key in overdeleted:
+                overdeleted[key] |= clearing
+            else:
+                overdeleted[key] = clearing.copy()
+            row = table.get(state)
+            if not row:
+                continue
+            for label, next_states in row.items():
+                targets = label_out(label).get(node)
+                if not targets:
+                    continue
+                for next_state in next_states:
+                    for w in targets:
+                        worklist.append(((next_state, w), clearing))
+
+        # Phase 3: boundary rederivation, then resumed fixpoint.
+        frontier: dict[int, dict[int, object]] = {}
+        zero = np.zeros(self.num_blocks, dtype=np.uint64)
+        for (state, node), bits in overdeleted.items():
+            state_rows = reached[state]
+            restore = zero
+            if state in initials and self._has_bit(bits, node):
+                row = table.get(state)
+                if row:
+                    for label in row:
+                        if label_out(label).get(node):
+                            restore = self._bit_row(node)
+                            break
+            remaining = bits & ~restore
+            if remaining.any():
+                rrow = rtable.get(state)
+                if rrow:
+                    support = np.zeros(self.num_blocks, dtype=np.uint64)
+                    for label, prev_states in rrow.items():
+                        preds = label_in(label).get(node)
+                        if not preds:
+                            continue
+                        for prev_state in prev_states:
+                            prev_rows = reached.get(prev_state)
+                            if prev_rows is None:
+                                continue
+                            for p in preds:
+                                support |= prev_rows[p]
+                    restore = restore | (remaining & support)
+            delta = restore & ~state_rows[node]
+            if delta.any():
+                state_rows[node] |= delta
+                bucket = frontier.setdefault(state, {})
+                if node in bucket:
+                    bucket[node] |= delta
+                else:
+                    bucket[node] = delta.copy()
+                if state in finals:
+                    answers[node] |= delta
+        if frontier:
+            self._sweep_rows_to_fixpoint(frontier)
+
+        # Settle answer rows whose final-state bits were touched.
+        affected_targets = {
+            node for state, node in overdeleted if state in finals
+        }
+        if affected_targets:
+            final_rows = [
+                reached[state] for state in finals if state in reached
+            ]
+            eps = compiled.accepts_epsilon
+            for v in affected_targets:
+                mask = self._bit_row(v) if eps else zero.copy()
+                for state_rows in final_rows:
+                    mask |= state_rows[v]
+                answers[v] = mask
+
+        over = rederived = 0
+        for (state, node), bits in overdeleted.items():
+            lost = int.from_bytes(bits.tobytes(), "little")
+            kept = int.from_bytes(
+                (bits & reached[state][node]).tobytes(), "little"
+            )
+            over += lost.bit_count()
+            rederived += kept.bit_count()
+        self.overdeleted_bits += over
+        self.rederived_bits += rederived
+        return deleted
+
+    def _grow(self, num_nodes: int) -> None:
+        """Widen matrices after the graph interned new nodes.
+
+        New ids append zero block rows *and* possibly new source-bit
+        columns (a new 64-wide block every 64 nodes); the epsilon
+        diagonal of each new node is seeded exactly as a full sweep
+        would.
+        """
+        import numpy as np
+
+        from .csr import blocks_for
+
+        old_nodes = self.num_nodes
+        num_blocks = blocks_for(num_nodes)
+
+        def widen(matrix):
+            grown = np.zeros((num_nodes, num_blocks), dtype=np.uint64)
+            grown[:old_nodes, : self.num_blocks] = matrix
+            return grown
+
+        self.reached = {
+            state: widen(rows) for state, rows in self.reached.items()
+        }
+        self.answers_matrix = widen(self.answers_matrix)
+        self._masks_snapshot = widen(self._masks_snapshot)
+        self.num_nodes = num_nodes
+        self.num_blocks = num_blocks
+        if self.compiled.accepts_epsilon:
+            for v in range(old_nodes, num_nodes):
+                self._set_bit(self.answers_matrix[v], v)
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def _sync_pairs(self) -> None:
+        """Fold changed answer rows into the decoded pair set."""
+        import numpy as np
+
+        node_at = self.db.node_at
+        pairs = self._pairs
+        answers = self.answers_matrix
+        snapshot = self._masks_snapshot
+        changed = np.flatnonzero((answers != snapshot).any(axis=1))
+        for target_id in changed.tolist():
+            target = node_at(target_id)
+            mask = int.from_bytes(answers[target_id].tobytes(), "little")
+            seen = int.from_bytes(snapshot[target_id].tobytes(), "little")
+            new_bits = mask & ~seen
+            while new_bits:
+                low_bit = new_bits & -new_bits
+                pairs.add((node_at(low_bit.bit_length() - 1), target))
+                new_bits ^= low_bit
+            lost_bits = seen & ~mask
+            while lost_bits:
+                low_bit = lost_bits & -lost_bits
+                pairs.discard((node_at(low_bit.bit_length() - 1), target))
+                lost_bits ^= low_bit
+            snapshot[target_id] = answers[target_id]
+
+    def answer_ids(self) -> list[tuple[int, int]]:
+        """The current answers as dense-id pairs, sorted."""
+        from . import kernel as _kernel
+
+        sources, targets = _kernel.decode_matrix(
+            self.answers_matrix, self.num_nodes
+        )
+        return list(zip(sources.tolist(), targets.tolist()))
+
+    def answers(self) -> frozenset[Pair]:
+        """The current answer set, decoded to node objects."""
+        self._sync_pairs()
+        return frozenset(self._pairs)
+
+    def answers_sorted(self) -> list[Pair]:
+        """Answers sorted by ``(node_id(x), node_id(y))`` — byte-identical
+        to :func:`repro.rpq.engine.evaluate_all_sorted` on the same graph."""
+        node_at = self.db.node_at
+        return [
+            (node_at(source_id), node_at(target_id))
+            for source_id, target_id in self.answer_ids()
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"NumpyDeltaSweepState(nodes={self.num_nodes}, "
+            f"blocks={self.num_blocks}, "
+            f"states={len(self.reached)}, "
+            f"edges_applied={self.edges_applied}, "
+            f"edges_deleted={self.edges_deleted})"
+        )
+
+
+def make_delta_state(
+    db: GraphDB, compiled: CompiledAutomaton, backend: str = "auto"
+):
+    """The delta-sweep state for ``db`` under the resolved ``backend``.
+
+    ``"auto"`` picks the numpy state at the same edge-count threshold as
+    :func:`repro.rpq.engine.resolve_backend`, so a session's incremental
+    path upgrades in lockstep with its batch path.
+    """
+    if _engine.resolve_backend(db, backend) == "numpy":
+        return NumpyDeltaSweepState(db, compiled)
+    return DeltaSweepState(db, compiled)

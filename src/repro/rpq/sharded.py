@@ -43,9 +43,13 @@ which is independent of shard count, worker count, process, and
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from bisect import bisect_right
 from typing import Hashable, Iterable, Mapping
 
+from . import engine as _engine
 from .engine import CompiledAutomaton
 from .graphdb import GraphDB
 
@@ -67,6 +71,13 @@ class ShardedEvaluationError(RuntimeError):
     catches this and falls back to the sequential engine, keeping the
     session usable.
     """
+
+
+def shard_bounds(num_nodes: int, num_shards: int) -> list[int]:
+    """The contiguous node-range partition used by every shard backend."""
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    return [(i * num_nodes) // num_shards for i in range(num_shards + 1)]
 
 
 class _Shard:
@@ -129,7 +140,7 @@ class ShardedGraphDB:
         num_nodes = db.num_nodes
         self.num_shards = num_shards
         self.num_nodes = num_nodes
-        self.bounds = [(i * num_nodes) // num_shards for i in range(num_shards + 1)]
+        self.bounds = shard_bounds(num_nodes, num_shards)
         bounds = self.bounds
         shards = [
             _Shard(i, bounds[i], bounds[i + 1]) for i in range(num_shards)
@@ -453,6 +464,32 @@ def _single_source_sweep(
     return result
 
 
+def _sweep_shard_numpy(
+    snapshot,
+    compiled: CompiledAutomaton,
+    bounds: list[int],
+    shard_index: int,
+    fail_shards: frozenset[int] = frozenset(),
+) -> dict[int, int]:
+    """The numpy twin of :func:`_sweep_shard` over a CSR snapshot.
+
+    Sweeps the shard's source window with the vectorized kernel
+    (:func:`repro.rpq.kernel.sweep_window`) and returns the same
+    ``{target_id: re-based int mask}`` shape as the big-int kernel, so
+    the merge path upstream is backend-agnostic.  ``fail_shards`` is the
+    same fault injection as the big-int kernel's.
+    """
+    if shard_index in fail_shards:
+        raise RuntimeError(
+            f"injected fault: worker died sweeping shard {shard_index}"
+        )
+    from . import kernel as _kernel
+
+    lo, hi = bounds[shard_index], bounds[shard_index + 1]
+    matrix = _kernel.sweep_window(snapshot, compiled, lo, hi)
+    return _kernel.matrix_to_masks(matrix)
+
+
 # ----------------------------------------------------------------------
 # Worker-process plumbing
 # ----------------------------------------------------------------------
@@ -489,6 +526,33 @@ def _pool_sweep(
         sharded = pickle.loads(payload)
         _WORKER_PAYLOAD["args"] = (generation, sharded, fail_shards)
     return _sweep_shard(sharded, compiled, shard_index, fail_shards)
+
+
+def _pool_sweep_numpy(
+    compiled: CompiledAutomaton,
+    shard_index: int,
+    generation: int,
+    path: str,
+    bounds: list[int],
+    fail_shards: frozenset[int],
+) -> dict[int, int]:
+    """Pool task for the numpy backend: one shard window per call.
+
+    The payload shipped per task is just the snapshot *path* plus the
+    shard bounds (a few hundred bytes); the snapshot itself is loaded
+    **zero-copy** via ``mmap`` and cached per worker keyed by the
+    evaluator generation, so after a refresh the worker re-maps the new
+    file instead of unpickling megabytes of edge dictionaries.
+    """
+    cached = _WORKER_PAYLOAD.get("numpy")
+    if cached is None or cached[0] != generation:
+        from .csr import CSRSnapshot
+
+        snapshot = CSRSnapshot.load(path, mmap=True)
+        _WORKER_PAYLOAD["numpy"] = (generation, snapshot)
+    else:
+        snapshot = cached[1]
+    return _sweep_shard_numpy(snapshot, compiled, bounds, shard_index, fail_shards)
 
 
 class ParallelEvaluator:
@@ -531,6 +595,7 @@ class ParallelEvaluator:
         num_shards: int = 4,
         workers: int = 1,
         *,
+        backend: str = "bigint",
         pool_timeout: float | None = 300.0,
         _fail_shards: Iterable[int] = (),
     ):
@@ -538,7 +603,7 @@ class ParallelEvaluator:
             raise ValueError(f"need at least one worker, got {workers}")
         self.db = db
         self._num_shards = num_shards
-        self.sharded = ShardedGraphDB(db, num_shards)
+        self.backend = _engine.resolve_backend(db, backend)
         self.workers = workers
         self.pool_timeout = pool_timeout
         self._fail_shards = frozenset(_fail_shards)
@@ -546,13 +611,32 @@ class ParallelEvaluator:
         self._generation = 0
         # The generation whose snapshot the pool's *initializer* ships to
         # (lazily spawned) workers; tasks at any other generation must
-        # carry the snapshot themselves.
+        # carry the snapshot themselves.  (Big-int backend only: numpy
+        # tasks always carry the tiny snapshot path instead.)
         self._pool_generation = -1
         self._payload_bytes: bytes | None = None
+        # Numpy-backend state: the frozen CSR snapshot, and the on-disk
+        # file workers mmap (written lazily, only when a pool is used).
+        self._snapshot = None
+        self._snapshot_dir: str | None = None
+        self._snapshot_file: str | None = None
+        self._build_partition()
+
+    def _build_partition(self) -> None:
+        """Cut the evaluator's frozen view of ``self.db`` (per backend)."""
+        if self.backend == "numpy":
+            self.sharded = None
+            self._snapshot = self.db.to_csr()
+            self._bounds = shard_bounds(self.db.num_nodes, self._num_shards)
+        else:
+            self.sharded = ShardedGraphDB(self.db, self._num_shards)
+            self._bounds = self.sharded.bounds
+        self._snapshot_file = None
+        self._db_mutations = self.db.mutation_count
 
     @property
     def num_shards(self) -> int:
-        return self.sharded.num_shards
+        return self._num_shards
 
     @property
     def generation(self) -> int:
@@ -568,8 +652,17 @@ class ParallelEvaluator:
         snapshot (tagged with a bumped generation) instead of paying a
         process-pool spawn.  Sequential evaluation just picks up the new
         partition.
+
+        A refresh against an *unchanged* graph (checked via
+        :attr:`GraphDB.mutation_count`, which only moves on effective
+        mutations) is a no-op: the partition, the generation, and any
+        cached worker payload all survive, so callers can refresh
+        unconditionally on every store-version bump without forcing the
+        next pooled sweep to re-ship an identical snapshot.
         """
-        self.sharded = ShardedGraphDB(self.db, self._num_shards)
+        if self.db.mutation_count == self._db_mutations:
+            return
+        self._build_partition()
         self._generation += 1
         self._payload_bytes = None
 
@@ -584,7 +677,7 @@ class ParallelEvaluator:
         be compared byte for byte.
         """
         per_shard = self._sweep_all(compiled)
-        bounds = self.sharded.bounds
+        bounds = self._bounds
         node_at = self.db.node_at
         pairs: list[Pair] = []
         for shard_index, answers in enumerate(per_shard):
@@ -618,16 +711,45 @@ class ParallelEvaluator:
         """
         source_id = self.db.node_id(source)
         try:
-            reached = _single_source_sweep(
-                self.sharded, compiled, source_id,
-                fail_shards=self._fail_shards,
-            )
+            if self.backend == "numpy":
+                reached = self._single_source_numpy(compiled, source_id)
+            else:
+                reached = _single_source_sweep(
+                    self.sharded, compiled, source_id,
+                    fail_shards=self._fail_shards,
+                )
         except Exception as exc:
             raise ShardedEvaluationError(
                 f"single-source sweep failed: {exc!r}"
             ) from exc
         node_at = self.db.node_at
         return frozenset(node_at(v) for v in reached)
+
+    def _single_source_numpy(
+        self, compiled: CompiledAutomaton, source_id: int
+    ) -> set[int]:
+        """Single-source sweep on the numpy backend: a width-1 window.
+
+        ``sweep_window(lo=source_id, hi=source_id + 1)`` gives exactly
+        the one-column answer matrix for this source, so the single
+        vectorized kernel serves all three entry points.  Fault
+        injection mirrors the big-int kernel: the sweep dies when the
+        shard *owning the source* is marked.
+        """
+        if not 0 <= source_id < self._snapshot.num_nodes:
+            raise IndexError(f"node id {source_id} out of range")
+        if self._fail_shards:
+            owner = bisect_right(self._bounds, source_id) - 1
+            if owner in self._fail_shards:
+                raise RuntimeError(
+                    f"injected fault: sweep died in shard {owner}"
+                )
+        from . import kernel as _kernel
+
+        matrix = _kernel.sweep_window(
+            self._snapshot, compiled, source_id, source_id + 1
+        )
+        return set(_kernel.matrix_to_masks(matrix))
 
     def evaluate_pair(
         self, compiled: CompiledAutomaton, source: Hashable, target: Hashable
@@ -640,10 +762,13 @@ class ParallelEvaluator:
         source_id = self.db.node_id(source)
         target_id = self.db.node_id(target)
         try:
-            reached = _single_source_sweep(
-                self.sharded, compiled, source_id, stop_at=target_id,
-                fail_shards=self._fail_shards,
-            )
+            if self.backend == "numpy":
+                reached = self._single_source_numpy(compiled, source_id)
+            else:
+                reached = _single_source_sweep(
+                    self.sharded, compiled, source_id, stop_at=target_id,
+                    fail_shards=self._fail_shards,
+                )
         except Exception as exc:
             raise ShardedEvaluationError(
                 f"single-pair sweep failed: {exc!r}"
@@ -654,8 +779,8 @@ class ParallelEvaluator:
     # Task execution
     # ------------------------------------------------------------------
     def _sweep_all(self, compiled: CompiledAutomaton) -> list[dict[int, int]]:
-        indices = range(self.sharded.num_shards)
-        workers = min(self.workers, self.sharded.num_shards)
+        indices = range(self._num_shards)
+        workers = min(self.workers, self._num_shards)
         if workers > 1:
             pool = self._ensure_pool(workers)
             if pool is not None:
@@ -666,16 +791,48 @@ class ParallelEvaluator:
         results = []
         for shard_index in indices:
             try:
-                results.append(
-                    _sweep_shard(
-                        self.sharded, compiled, shard_index, self._fail_shards
+                if self.backend == "numpy":
+                    results.append(
+                        _sweep_shard_numpy(
+                            self._snapshot, compiled, self._bounds,
+                            shard_index, self._fail_shards,
+                        )
                     )
-                )
+                else:
+                    results.append(
+                        _sweep_shard(
+                            self.sharded, compiled, shard_index,
+                            self._fail_shards,
+                        )
+                    )
             except Exception as exc:
                 raise ShardedEvaluationError(
                     f"shard {shard_index} sweep failed: {exc!r}"
                 ) from exc
         return results
+
+    def _snapshot_path(self) -> str:
+        """The on-disk mmap file for the current snapshot generation.
+
+        Written lazily — sequential numpy evaluation never touches disk —
+        and regenerated per refresh; stale generations are removed
+        eagerly so a long-lived evaluator holds at most one file.
+        """
+        if self._snapshot_file is None:
+            if self._snapshot_dir is None:
+                self._snapshot_dir = tempfile.mkdtemp(prefix="rpq-csr-")
+            else:
+                for name in os.listdir(self._snapshot_dir):
+                    try:
+                        os.remove(os.path.join(self._snapshot_dir, name))
+                    except OSError:
+                        pass
+            path = os.path.join(
+                self._snapshot_dir, f"gen{self._generation}.csr"
+            )
+            self._snapshot.save(path)
+            self._snapshot_file = path
+        return self._snapshot_file
 
     def _ensure_pool(self, workers: int):
         """The evaluator's long-lived pool, spawned on first use with the
@@ -687,17 +844,46 @@ class ParallelEvaluator:
             try:
                 from concurrent.futures import ProcessPoolExecutor
 
-                self._pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_worker,
-                    initargs=(self._generation, self.sharded, self._fail_shards),
-                )
+                if self.backend == "numpy":
+                    # Numpy workers need no initializer payload: every
+                    # task carries the (tiny) snapshot path and mmap-loads
+                    # it on first sight of a new generation.
+                    self._pool = ProcessPoolExecutor(max_workers=workers)
+                else:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            self._generation, self.sharded, self._fail_shards
+                        ),
+                    )
                 self._pool_generation = self._generation
             except (ImportError, NotImplementedError, OSError, PermissionError):
                 return None
         return self._pool
 
+    def _run_pool_numpy(self, pool, compiled, indices) -> list[dict[int, int]]:
+        path = self._snapshot_path()
+        try:
+            futures = [
+                pool.submit(
+                    _pool_sweep_numpy, compiled, i, self._generation,
+                    path, self._bounds, self._fail_shards,
+                )
+                for i in indices
+            ]
+            return [
+                future.result(timeout=self.pool_timeout) for future in futures
+            ]
+        except BaseException as exc:
+            self.close(wait=False)
+            raise ShardedEvaluationError(
+                f"shard sweep failed in the worker pool: {exc!r}"
+            ) from exc
+
     def _run_pool(self, pool, compiled, indices) -> list[dict[int, int]]:
+        if self.backend == "numpy":
+            return self._run_pool_numpy(pool, compiled, indices)
         # After a refresh the initializer's snapshot is stale, so tasks
         # must carry the current one; pickled once per generation.  (Any
         # worker may still hold the initializer snapshot — lazy spawns
@@ -739,6 +925,10 @@ class ParallelEvaluator:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
+        if wait and self._snapshot_dir is not None:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._snapshot_dir = None
+            self._snapshot_file = None
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -747,6 +937,12 @@ class ParallelEvaluator:
         self.close()
 
     def __repr__(self) -> str:
+        if self.backend == "numpy":
+            return (
+                f"ParallelEvaluator(shards={self._num_shards}, "
+                f"workers={self.workers}, "
+                f"nodes={self._snapshot.num_nodes}, backend='numpy')"
+            )
         return (
             f"ParallelEvaluator(shards={self.sharded.num_shards}, "
             f"workers={self.workers}, nodes={self.sharded.num_nodes}, "

@@ -40,7 +40,7 @@ from typing import Hashable, Iterable, Mapping
 from ..automata.nfa import NFA
 from ..rpq import engine as _engine
 from ..rpq.evaluation import sort_pairs
-from ..rpq.incremental import DeltaSweepState
+from ..rpq.incremental import DeltaSweepState, NumpyDeltaSweepState, make_delta_state
 from ..rpq.query import QuerySpec
 from ..rpq.rewriting import RPQRewritingResult
 from ..rpq.sharded import ParallelEvaluator, ShardedEvaluationError
@@ -89,6 +89,7 @@ class QuerySession:
         parallelism: int | None = None,
         workers: int = 1,
         incremental: bool = True,
+        backend: str = "auto",
     ):
         self.store = store
         self.views = views if isinstance(views, RPQViews) else RPQViews(views)
@@ -97,6 +98,14 @@ class QuerySession:
         self.parallelism = parallelism
         self.workers = workers
         self.incremental = incremental
+        # "auto" | "bigint" | "numpy": which sweep kernel backs all-pairs
+        # evaluation (batch, sharded, and incremental alike).  "auto"
+        # re-resolves against the store's current size on every state
+        # build, so a growing store upgrades to the vectorized kernel at
+        # the engine's documented threshold.  Validated eagerly so a
+        # typo'd backend fails at construction, not on the first query.
+        _engine.resolve_backend(store.graph, backend)
+        self.backend = backend
         # The compile domain is the view alphabet, fixed for the session:
         # keying on the *store's* current domain would shrink it when a
         # view's last tuple is deleted, recompiling every plan and
@@ -122,8 +131,11 @@ class QuerySession:
         # plan key -> (retained sweep state, store version it reflects);
         # unlike the answer memo this survives version bumps — that is
         # the whole point: a pure-insert delta advances the state to the
-        # new version instead of recomputing it.
-        self._delta_states: dict[str, tuple[DeltaSweepState, int]] = {}
+        # new version instead of recomputing it.  The state is a
+        # DeltaSweepState or NumpyDeltaSweepState per the session backend.
+        self._delta_states: dict[
+            str, tuple[DeltaSweepState | NumpyDeltaSweepState, int]
+        ] = {}
         self.stats = {
             "requests": 0,
             "answer_memo_hits": 0,
@@ -188,13 +200,21 @@ class QuerySession:
             return False
         return True
 
-    def _sync_version(self) -> None:
+    def _sync_version(self) -> int:
+        """Align the answer memo with the store's current version.
+
+        Returns the version synced against, so callers that evaluate
+        *after* syncing can tell whether the store (or a re-entrant
+        request that re-synced the memo) moved underneath them before
+        they memoize — see :meth:`answer`'s write guard.
+        """
         version = self.store.version
         if version != self._answers_version:
             if self._answers:
                 self.stats["invalidations"] += 1
             self._answers.clear()
             self._answers_version = version
+        return version
 
     # ------------------------------------------------------------------
     # Sharded evaluation (the ``parallelism`` knob)
@@ -217,6 +237,7 @@ class QuerySession:
                 self.store.graph,
                 num_shards=self.parallelism,
                 workers=self.workers,
+                backend=self.backend,
             )
             self._evaluator_version = version
         elif self._evaluator_version != version:
@@ -252,7 +273,7 @@ class QuerySession:
         same query between updates are dictionary lookups.
         """
         self.stats["requests"] += 1
-        self._sync_version()
+        synced = self._sync_version()
         key, (_plan, nfa) = self._plan_entry(query)
         cached = self._answers.get(key)
         if cached is not None:
@@ -263,7 +284,15 @@ class QuerySession:
             lambda evaluator: self._parallel_all_pairs(evaluator, compiled),
             lambda: self._sequential_all_pairs(key, compiled).answers(),
         )
-        self._answers[key] = answers
+        # Memoize only when neither the store nor the memo's version tag
+        # moved while we were evaluating.  Without the guard, a mutation
+        # (or a re-entrant request that re-syncs the memo to the new
+        # version) between the sync above and this write would file
+        # answers computed against the *old* graph under the *new*
+        # version — and every later call at that version would serve the
+        # stale frozenset from the memo.
+        if self.store.version == synced and self._answers_version == synced:
+            self._answers[key] = answers
         return answers
 
     def answer_sorted(self, query: QuerySpec) -> list[Pair]:
@@ -288,7 +317,7 @@ class QuerySession:
 
     def _sequential_all_pairs(
         self, key: str, compiled: _engine.CompiledAutomaton
-    ) -> DeltaSweepState:
+    ) -> DeltaSweepState | NumpyDeltaSweepState:
         """The delta-maintained sweep state for ``key``, advanced to the
         store's current version.
 
@@ -336,7 +365,7 @@ class QuerySession:
                     self.stats["delta_edges_applied"] += delta.num_changes
                     self._delta_states[key] = (state, version)
                     return state
-        state = DeltaSweepState(graph, compiled)
+        state = make_delta_state(graph, compiled, self.backend)
         self.stats["full_recomputes"] += 1
         if self.incremental:
             self._delta_states[key] = (state, version)

@@ -1,0 +1,272 @@
+"""Randomized differential harness: numpy kernel vs big-int vs naive.
+
+The vectorized block-bitmatrix kernel (:mod:`repro.rpq.kernel`) must be
+indistinguishable from the big-int engine on every graph — same pairs,
+same documented sort order, bit for bit — and both must agree with the
+literal Definition 4.2 oracle (:func:`repro.rpq.evaluation.naive_evaluate`).
+Hypothesis draws workload family x seed x edge budget through the seeded
+generator, so failures replay from their seed; deterministic tests pin
+the boundary geometry the block layout is most likely to get wrong
+(empty graphs, single nodes, widths straddling the 64-bit word size) and
+sweep the parallel tier across shard and worker counts on both backends.
+
+The incremental twin (:class:`repro.rpq.incremental.NumpyDeltaSweepState`)
+is held to the same standard under seeded insert/delete streams: after
+every operation its answers must equal the big-int delta state's *and* a
+from-scratch sweep of the mutated graph.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpq import (
+    FAMILIES,
+    RPQ,
+    GraphDB,
+    ParallelEvaluator,
+    make_graph,
+    make_queries,
+    naive_evaluate,
+    sort_pairs,
+)
+from repro.rpq import engine as engine_mod
+from repro.rpq import kernel as kernel_mod
+from repro.rpq.engine import NUMPY_BACKEND_MIN_EDGES, resolve_backend
+from repro.rpq.graphdb import random_graph
+from repro.rpq.incremental import DeltaSweepState, NumpyDeltaSweepState
+
+
+def compiled_for(db, query):
+    rpq = query if isinstance(query, RPQ) else RPQ(query)
+    return engine_mod.compile_automaton(rpq.eps_free_nfa(), None, db.domain())
+
+
+@st.composite
+def workload_cases(draw, max_edges=40):
+    family = draw(st.sampled_from(FAMILIES))
+    seed = draw(st.integers(min_value=0, max_value=999_999))
+    edges = draw(st.integers(min_value=4, max_value=max_edges))
+    graph = make_graph(family, seed, edges=edges)
+    queries = make_queries(family, seed, count=4)
+    query = queries[draw(st.integers(min_value=0, max_value=3))]
+    return family, graph, query
+
+
+class TestBackendResolution:
+    def test_auto_threshold(self):
+        small = random_graph(random.Random(0), 10, ["a"], 20)
+        assert resolve_backend(small, "auto") == "bigint"
+        assert resolve_backend(small, "numpy") == "numpy"
+        assert resolve_backend(small, "bigint") == "bigint"
+
+    def test_unknown_backend_rejected(self):
+        db = GraphDB([("x", "a", "y")])
+        with pytest.raises(ValueError):
+            resolve_backend(db, "gpu")
+        with pytest.raises(ValueError):
+            engine_mod.evaluate_all(db, compiled_for(db, "a"), backend="gpu")
+
+    def test_threshold_is_edge_count(self):
+        db = GraphDB([("x", "a", "y")])
+        assert db.num_edges < NUMPY_BACKEND_MIN_EDGES
+        assert resolve_backend(db, "auto") == "bigint"
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=workload_cases())
+def test_numpy_matches_bigint_and_naive(case):
+    _family, graph, query = case
+    compiled = compiled_for(graph, query)
+    big = engine_mod.evaluate_all_sorted(graph, compiled, backend="bigint")
+    vec = engine_mod.evaluate_all_sorted(graph, compiled, backend="numpy")
+    assert vec == big
+    assert frozenset(vec) == naive_evaluate(graph, query)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    case=workload_cases(),
+    num_shards=st.sampled_from((1, 2, 3, 7)),
+)
+def test_numpy_sharded_matches_sequential(case, num_shards):
+    _family, graph, query = case
+    compiled = compiled_for(graph, query)
+    expected = engine_mod.evaluate_all_sorted(graph, compiled, backend="bigint")
+    with ParallelEvaluator(graph, num_shards, backend="numpy") as evaluator:
+        assert evaluator.evaluate_all_sorted(compiled) == expected
+
+
+class TestBoundaryGeometry:
+    """Widths straddling the uint64 block size, plus degenerate graphs."""
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 63, 64, 65, 127, 128, 130])
+    @pytest.mark.parametrize("expr", ["a*", "a.a", "(a+b)*"])
+    def test_cycle_widths(self, num_nodes, expr):
+        db = GraphDB()
+        for i in range(num_nodes):
+            db.add_edge(f"n{i}", "a", f"n{(i + 1) % num_nodes}")
+            if i % 3 == 0:
+                db.add_edge(f"n{i}", "b", f"n{(i * 2 + 1) % num_nodes}")
+        compiled = compiled_for(db, expr)
+        big = engine_mod.evaluate_all_sorted(db, compiled, backend="bigint")
+        vec = engine_mod.evaluate_all_sorted(db, compiled, backend="numpy")
+        assert vec == big
+
+    def test_empty_graph(self):
+        db = GraphDB()
+        compiled = compiled_for(GraphDB([("x", "a", "y")]), "a*")
+        assert engine_mod.evaluate_all_sorted(db, compiled, backend="numpy") == []
+        assert kernel_mod.all_pairs_ids(db.to_csr(), compiled) == []
+
+    def test_single_isolated_node(self):
+        db = GraphDB(nodes=["lonely"])
+        compiled = compiled_for(GraphDB([("x", "a", "y")]), "a*")
+        for backend in ("bigint", "numpy"):
+            assert engine_mod.evaluate_all_sorted(
+                db, compiled, backend=backend
+            ) == [("lonely", "lonely")]
+
+    def test_self_loop_single_node(self):
+        db = GraphDB([("n", "a", "n")])
+        compiled = compiled_for(db, "a.a.a")
+        for backend in ("bigint", "numpy"):
+            assert engine_mod.evaluate_all_sorted(
+                db, compiled, backend=backend
+            ) == [("n", "n")]
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 64, 65])
+    def test_window_boundaries_across_shards(self, num_shards):
+        """Shard windows cut at non-multiple-of-64 offsets must still
+        re-base masks exactly."""
+        db = GraphDB()
+        for i in range(130):
+            db.add_edge(f"n{i}", "a", f"n{(i + 7) % 130}")
+        compiled = compiled_for(db, "a.a")
+        expected = engine_mod.evaluate_all_sorted(db, compiled)
+        for backend in ("bigint", "numpy"):
+            with ParallelEvaluator(db, num_shards, backend=backend) as ev:
+                assert ev.evaluate_all_sorted(compiled) == expected
+
+
+class TestEntryPointParity:
+    """Single-source and single-pair answers match across backends."""
+
+    def test_workload_entry_points(self):
+        graph = make_graph("scale_free", 77, edges=60)
+        query = make_queries("scale_free", 77, count=1)[0]
+        compiled = compiled_for(graph, query)
+        nodes = sorted(graph.nodes, key=graph.node_id)
+        for backend in ("bigint", "numpy"):
+            with ParallelEvaluator(graph, 3, backend=backend) as ev:
+                for source in nodes[:6]:
+                    expected = engine_mod.evaluate_single_source(
+                        graph, compiled, source
+                    )
+                    assert ev.evaluate_single_source(compiled, source) == expected
+                    for target in nodes[:4]:
+                        assert ev.evaluate_pair(
+                            compiled, source, target
+                        ) == engine_mod.evaluate_pair(
+                            graph, compiled, source, target
+                        )
+
+
+class TestWorkerPool:
+    """The pooled numpy path (mmap snapshot shipping) stays bit-identical."""
+
+    def test_pool_matches_sequential(self):
+        graph = make_graph("grid", 5, edges=60)
+        query = make_queries("grid", 5, count=1)[0]
+        compiled = compiled_for(graph, query)
+        expected = engine_mod.evaluate_all_sorted(graph, compiled)
+        with ParallelEvaluator(graph, 4, workers=2, backend="numpy") as ev:
+            assert ev.evaluate_all_sorted(compiled) == expected
+            # Again, through the now-warm worker snapshot cache.
+            assert ev.evaluate_all_sorted(compiled) == expected
+
+    def test_pool_survives_refresh(self):
+        graph = make_graph("chain", 11, edges=40)
+        query = make_queries("chain", 11, count=1)[0]
+        compiled = compiled_for(graph, query)
+        with ParallelEvaluator(graph, 4, workers=2, backend="numpy") as ev:
+            before = ev.evaluate_all_sorted(compiled)
+            assert before == engine_mod.evaluate_all_sorted(graph, compiled)
+            nodes = sorted(graph.nodes, key=graph.node_id)
+            graph.add_edge(nodes[0], "a", nodes[-1])
+            ev.refresh()
+            after = ev.evaluate_all_sorted(compiled)
+            assert after == engine_mod.evaluate_all_sorted(graph, compiled)
+
+    def test_injected_worker_fault_surfaces_typed_error(self):
+        from repro.rpq.sharded import ShardedEvaluationError
+
+        graph = make_graph("chain", 3, edges=30)
+        query = make_queries("chain", 3, count=1)[0]
+        compiled = compiled_for(graph, query)
+        with ParallelEvaluator(
+            graph, 4, backend="numpy", _fail_shards=(2,)
+        ) as ev:
+            with pytest.raises(ShardedEvaluationError):
+                ev.evaluate_all_sorted(compiled)
+
+
+class TestIncrementalParity:
+    """NumpyDeltaSweepState == DeltaSweepState == from-scratch, per op."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("expr", ["a", "(a+b)*", "a.(b+c)*.a"])
+    def test_interleaved_stream(self, seed, expr):
+        rng = random.Random(seed)
+        db = random_graph(
+            rng, rng.choice([2, 63, 65, 90]), ["a", "b", "c"], 150
+        )
+        compiled = engine_mod.compile_automaton(
+            RPQ(expr).eps_free_nfa(), None, frozenset(["a", "b", "c"])
+        )
+        big = DeltaSweepState(db, compiled)
+        vec = NumpyDeltaSweepState(db, compiled)
+        assert big.answers_sorted() == vec.answers_sorted()
+        nodes = sorted(db.nodes, key=db.node_id)
+        for step in range(12):
+            if rng.random() < 0.6 or db.num_edges == 0:
+                source = rng.choice(nodes)
+                target = rng.choice(nodes + [f"fresh{step}"])
+                label = rng.choice(["a", "b", "c"])
+                db.add_edge(source, label, target)
+                nodes = sorted(db.nodes, key=db.node_id)
+                big.apply_insertions([(source, label, target)])
+                vec.apply_insertions([(source, label, target)])
+            else:
+                edge = rng.choice(sorted(db.to_triples()))
+                db.remove_edge(*edge)
+                big.apply_deletions([edge])
+                vec.apply_deletions([edge])
+            got = vec.answers_sorted()
+            assert got == big.answers_sorted()
+            assert got == engine_mod.evaluate_all_sorted(
+                db, compiled, backend="bigint"
+            )
+            assert vec.answers() == big.answers()
+
+    def test_drain_to_empty_has_no_ghost_answers(self):
+        db = GraphDB()
+        for i in range(70):
+            db.add_edge(f"n{i}", "a", f"n{(i + 1) % 70}")
+        compiled = engine_mod.compile_automaton(
+            RPQ("a*").eps_free_nfa(), None, frozenset(["a"])
+        )
+        big = DeltaSweepState(db, compiled)
+        vec = NumpyDeltaSweepState(db, compiled)
+        for edge in sorted(db.to_triples()):
+            db.remove_edge(*edge)
+            big.apply_deletions([edge])
+            vec.apply_deletions([edge])
+        expected = sorted((f"n{i}", f"n{i}") for i in range(70))
+        assert sorted(vec.answers_sorted()) == expected
+        assert vec.answers_sorted() == big.answers_sorted()
+        nodes = db.nodes
+        for x, y in vec.answers():
+            assert x in nodes and y in nodes

@@ -1,0 +1,103 @@
+"""Regression: the answer memo must never file stale answers.
+
+The defect: :meth:`QuerySession.answer` synced the memo to the store
+version *before* evaluating, then wrote its result into the memo
+unconditionally.  If the store moved while the evaluation ran — and a
+re-entrant request (a progress callback, a nested query issued from
+instrumentation) re-synced the memo to the *new* version — the outer
+call's answers, computed against the old graph, were filed under the new
+version's memo.  Every later request at that version then got a memo hit
+on the stale frozenset, with nothing left to invalidate it.
+
+The fix: ``_sync_version`` returns the version it synced against, and
+``answer`` memoizes only when both the store version and the memo's
+version tag still equal it.  A mutate-during-evaluation request now
+simply skips the memo write; the next request re-evaluates.
+"""
+
+from repro.rpq import Theory
+from repro.service import MaterializedViewStore, QuerySession
+
+
+def _session():
+    store = MaterializedViewStore(
+        {"q1": [("u", "v"), ("w", "v")], "q2": [("v", "z")]}
+    )
+    theory = Theory.trivial({"a", "b"})
+    return store, QuerySession(store, {"q1": "a", "q2": "b"}, theory)
+
+
+class TestMemoWriteGuard:
+    def test_mutation_between_sync_and_memo_write(self):
+        """A store mutation plus a re-entrant answer() mid-evaluation
+        must not leave stale answers memoized at the new version."""
+        store, session = _session()
+        original = session._evaluate
+        state = {"armed": True}
+
+        def mutate_and_reenter(parallel_call, sequential_call):
+            result = original(parallel_call, sequential_call)
+            if state["armed"]:
+                state["armed"] = False
+                # The store moves while the outer answer() is in flight...
+                store.add("q1", "x", "v")
+                # ...and a re-entrant request re-syncs the memo to the
+                # new version before the outer call memoizes.
+                session.answer("b")
+            return result
+
+        session._evaluate = mutate_and_reenter
+        first = session.answer("a.b")
+        session._evaluate = original
+
+        fresh = QuerySession(
+            store, {"q1": "a", "q2": "b"}, Theory.trivial({"a", "b"})
+        )
+        expected = fresh.answer("a.b")
+        assert ("x", "z") in expected
+        # The poisoned-memo request itself may legitimately answer for
+        # the pre-mutation store; the *next* request must not.
+        second = session.answer("a.b")
+        assert second == expected
+
+    def test_stale_result_not_memoized(self):
+        store, session = _session()
+        original = session._evaluate
+        state = {"armed": True}
+
+        def mutate_and_reenter(parallel_call, sequential_call):
+            result = original(parallel_call, sequential_call)
+            if state["armed"]:
+                state["armed"] = False
+                store.add("q1", "x", "v")
+                session.answer("b")
+            return result
+
+        session._evaluate = mutate_and_reenter
+        session.answer("a.b")
+        session._evaluate = original
+        key = session._plan_keys["a.b"]
+        # Either nothing was memoized for the poisoned request, or what
+        # was memoized is correct for the current version.
+        cached = session._answers.get(key)
+        if cached is not None:
+            fresh = QuerySession(
+                store, {"q1": "a", "q2": "b"}, Theory.trivial({"a", "b"})
+            )
+            assert cached == fresh.answer("a.b")
+
+    def test_plain_mutation_between_calls_still_invalidates(self):
+        """The ordinary path — mutate between requests — keeps working."""
+        store, session = _session()
+        before = session.answer("a.b")
+        assert before == frozenset({("u", "z"), ("w", "z")})
+        store.add("q1", "x", "v")
+        after = session.answer("a.b")
+        assert after == frozenset({("u", "z"), ("w", "z"), ("x", "z")})
+
+    def test_memo_still_hits_when_store_is_quiet(self):
+        _store, session = _session()
+        session.answer("a.b")
+        hits = session.stats["answer_memo_hits"]
+        session.answer("a.b")
+        assert session.stats["answer_memo_hits"] == hits + 1
