@@ -32,6 +32,10 @@ Examples::
     python -m repro workload --family grid --seed 7 --edges 2000 \
         --graph-out grid.tsv --num-queries 5 --queries-out queries.txt
 
+    python -m repro serve --port 8322 \
+        --workload-tenant alpha=grid:7:300 \
+        --workload-tenant beta=chain:11:200   # multi-tenant HTTP server
+
     python -m repro serve-bench --nodes 300           # warm vs cold serving
 
 ``edges.tsv`` holds one ``source<TAB>label<TAB>target`` triple per line;
@@ -238,6 +242,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the graph's canonical sha256 signature to stderr "
         "(equal signatures == byte-identical graphs)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant HTTP/JSON answering server",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8322,
+        help="listen port (0 picks an ephemeral port; default 8322)",
+    )
+    serve.add_argument(
+        "--workload-tenant",
+        action="append",
+        required=True,
+        metavar="NAME=FAMILY:SEED:EDGES",
+        help="a tenant seeded from a workload family (views materialized "
+        "over the family's seeded graph become its extensions); repeatable",
+    )
+    serve.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        help="persist every tenant's compiled rewrite plans under DIR",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="evaluate each tenant on K node-range shards (needs K >= 2)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes per tenant's sharded evaluator (default 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        help="sweep kernel backend: auto, bigint, or numpy (default auto)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="per-tenant admission bound: requests queued or in flight "
+        "beyond this are rejected with HTTP 429 (default 64)",
     )
 
     serve_bench = sub.add_parser(
@@ -573,6 +627,68 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workload_tenant(spec: str) -> tuple[str, str, int, int]:
+    name, sep, rest = spec.partition("=")
+    parts = rest.split(":")
+    if not sep or not name or len(parts) != 3:
+        raise SystemExit(
+            f"bad --workload-tenant {spec!r}; expected NAME=FAMILY:SEED:EDGES"
+        )
+    family, seed_text, edges_text = parts
+    try:
+        seed, edges = int(seed_text), int(edges_text)
+    except ValueError:
+        raise SystemExit(
+            f"bad --workload-tenant {spec!r}; SEED and EDGES must be integers"
+        ) from None
+    return name, family, seed, edges
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .rpq.workload import FAMILIES
+    from .service.loadgen import make_tenant_config
+    from .service.server import RPQServer
+
+    tenants = {}
+    for spec in args.workload_tenant:
+        name, family, seed, edges = _parse_workload_tenant(spec)
+        if family not in FAMILIES:
+            raise SystemExit(
+                f"--workload-tenant {spec!r}: unknown family {family!r}; "
+                f"choose one of {', '.join(FAMILIES)}"
+            )
+        if name in tenants:
+            raise SystemExit(f"duplicate tenant name {name!r}")
+        tenants[name] = make_tenant_config(
+            family,
+            seed,
+            edges=edges,
+            plan_dir=args.plan_cache,
+            parallelism=args.shards,
+            workers=args.workers,
+            backend=args.backend,
+            max_queue=args.max_queue,
+        )
+    server = RPQServer(tenants, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving {len(server.tenants)} tenant(s) on "
+            f"http://{server.host}:{server.port}",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .service.bench import QUERIES, run_service_benchmark
 
@@ -596,6 +712,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "eval": _cmd_eval,
         "answer": _cmd_answer,
         "workload": _cmd_workload,
+        "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)

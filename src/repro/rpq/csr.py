@@ -32,6 +32,9 @@ shrink.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
+import os
 import pickle
 from typing import Hashable, TYPE_CHECKING
 
@@ -44,6 +47,12 @@ __all__ = ["CSRSnapshot", "blocks_for"]
 
 _MAGIC = b"RPQCSR\x01\n"
 _ALIGN = 64
+
+# Scratch-file serial for atomic saves (unique per process + call, like
+# the plan cache's): a crash mid-write leaves only an orphaned *.tmp,
+# never a truncated snapshot at the published path that lazily-mapping
+# pool workers would mmap and crash on.
+_TMP_SERIAL = itertools.count()
 
 
 def blocks_for(num_columns: int) -> int:
@@ -265,7 +274,27 @@ class CSRSnapshot:
     # Serialization (single mmap-able file)
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Write the snapshot as ``magic | header | aligned raw arrays``."""
+        """Write the snapshot as ``magic | header | aligned raw arrays``.
+
+        Atomic: the payload is staged in a uniquely-named scratch file
+        next to ``path`` and published with one ``os.replace``.  Readers
+        (including pool workers lazily mmapping the snapshot mid-refresh)
+        only ever see either the previous complete file or the new
+        complete file — a crash mid-write leaves the destination
+        untouched and at worst orphans a ``*.tmp``.
+        """
+        tmp = os.fspath(path) + f".{os.getpid()}.{next(_TMP_SERIAL)}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                self._write_payload(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def _write_payload(self, handle) -> None:
+        """Serialize into an open binary ``handle`` (see :meth:`save`)."""
         manifest = []
         arrays: list[np.ndarray] = []
         offset = 0
@@ -288,33 +317,68 @@ class CSRSnapshot:
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        with open(path, "wb") as handle:
-            handle.write(_MAGIC)
-            handle.write(len(header).to_bytes(8, "little"))
-            handle.write(header)
-            base = handle.tell()
-            pad = -base % _ALIGN
-            handle.write(b"\0" * pad)
-            base += pad
-            for (_, _, _, _, data_offset), array in zip(manifest, arrays):
-                handle.seek(base + data_offset)
-                handle.write(array.tobytes())
-            end = base + offset
-            handle.seek(0, 2)
-            if handle.tell() < end:
-                handle.truncate(end)
+        handle.write(_MAGIC)
+        handle.write(len(header).to_bytes(8, "little"))
+        handle.write(header)
+        base = handle.tell()
+        pad = -base % _ALIGN
+        handle.write(b"\0" * pad)
+        base += pad
+        for (_, _, _, _, data_offset), array in zip(manifest, arrays):
+            handle.seek(base + data_offset)
+            handle.write(array.tobytes())
+        end = base + offset
+        handle.seek(0, 2)
+        if handle.tell() < end:
+            handle.truncate(end)
 
     @classmethod
     def load(cls, path, mmap: bool = True) -> "CSRSnapshot":
-        """Re-open a saved snapshot; ``mmap=True`` maps it zero-copy."""
+        """Re-open a saved snapshot; ``mmap=True`` maps it zero-copy.
+
+        The file is validated up front — magic bytes, a complete header,
+        and enough bytes for every array the manifest promises — so a
+        truncated or corrupt file fails here with a clear ``ValueError``
+        instead of handing short read-only views to the kernel (which
+        would surface as an index crash deep inside a pool worker).
+        """
         with open(path, "rb") as handle:
             magic = handle.read(len(_MAGIC))
             if magic != _MAGIC:
                 raise ValueError(f"{path!r} is not a CSR snapshot file")
-            header_len = int.from_bytes(handle.read(8), "little")
-            header = pickle.loads(handle.read(header_len))
+            length_bytes = handle.read(8)
+            if len(length_bytes) != 8:
+                raise ValueError(
+                    f"truncated CSR snapshot {path!r}: incomplete header length"
+                )
+            header_len = int.from_bytes(length_bytes, "little")
+            header_bytes = handle.read(header_len)
+            if len(header_bytes) != header_len:
+                raise ValueError(
+                    f"truncated CSR snapshot {path!r}: header cut short "
+                    f"({len(header_bytes)} of {header_len} bytes)"
+                )
+            try:
+                header = pickle.loads(header_bytes)
+            except Exception as exc:
+                raise ValueError(
+                    f"corrupt CSR snapshot header in {path!r}: {exc}"
+                ) from exc
             base = handle.tell()
             base += -base % _ALIGN
+            handle.seek(0, 2)
+            actual_size = handle.tell()
+        required = base
+        for _index, _name, dtype_str, shape, data_offset in header["manifest"]:
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            required = max(
+                required, base + data_offset + count * np.dtype(dtype_str).itemsize
+            )
+        if actual_size < required:
+            raise ValueError(
+                f"truncated CSR snapshot {path!r}: need {required} bytes "
+                f"for the arrays in its manifest, file has {actual_size}"
+            )
         if mmap:
             raw = np.memmap(path, dtype=np.uint8, mode="r")
         else:

@@ -52,10 +52,12 @@ from .graphdb import GraphDB
 
 __all__ = [
     "FAMILIES",
+    "TrafficOp",
     "UpdateOp",
     "Workload",
     "make_graph",
     "make_queries",
+    "make_traffic_mix",
     "make_update_stream",
     "make_views",
     "make_workload",
@@ -466,6 +468,159 @@ def make_update_stream(
             if node.startswith("u") and node not in pool:
                 pool.append(node)
         ops.append(UpdateOp("insert", symbol, source, target))
+    return tuple(ops)
+
+
+# ----------------------------------------------------------------------
+# Seeded traffic mixes (the serving half of a workload)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrafficOp:
+    """One request in a seeded serving-traffic stream.
+
+    ``kind`` is ``"query"`` or ``"update"``.  A query op carries the
+    query string plus its shape: ``mode`` is ``"all"`` (all pairs),
+    ``"single_source"`` (``source`` set), or ``"pair"`` (``source`` and
+    ``target`` set).  An update op carries a batch of
+    :class:`UpdateOp` tuple changes in application order.  The stream's
+    update batches are consistent only when applied *in stream order*
+    (they come from one :func:`make_update_stream`), which matches the
+    serving front end's single-writer-per-tenant regime.
+    """
+
+    kind: str
+    mode: str = "all"
+    query: str | None = None
+    source: str | None = None
+    target: str | None = None
+    updates: tuple[UpdateOp, ...] = ()
+
+
+def make_traffic_mix(
+    family: str,
+    seed: int,
+    *,
+    count: int,
+    base: "dict[str, Iterable[tuple[str, str]]] | None" = None,
+    queries: "tuple[str, ...] | None" = None,
+    query_count: int = 8,
+    include_starred: bool = False,
+    write_fraction: float = 0.2,
+    batch_size: int = 1,
+    delete_fraction: float = 0.3,
+    reinsert_fraction: float = 0.0,
+    single_source_fraction: float = 0.2,
+    pair_fraction: float = 0.1,
+) -> tuple[TrafficOp, ...]:
+    """A seeded query/update request mix for the serving front end.
+
+    Honours the module's determinism contract: a pure function of its
+    arguments, byte-identical in every process.  Roughly
+    ``write_fraction`` of the ``count`` requests are update batches of
+    ``batch_size`` tuple changes drawn — in order — from one consistent
+    :func:`make_update_stream` over ``base`` (so each change is
+    effective exactly once when the batches are applied in stream
+    order); the rest are queries drawn from ``queries`` (default: the
+    family's seeded bounded mix of ``query_count`` queries), shaped as
+    single-source with probability ``single_source_fraction``, as a
+    single pair with probability ``pair_fraction``, and as all-pairs
+    otherwise.  Query endpoints are drawn from the nodes of ``base``,
+    so single-source/pair requests hit the live part of the store;
+    without a ``base`` every query is all-pairs.
+    """
+    _check_family(family)
+    if count < 1:
+        raise ValueError("a traffic mix needs at least one request")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    for name, fraction in (
+        ("write_fraction", write_fraction),
+        ("single_source_fraction", single_source_fraction),
+        ("pair_fraction", pair_fraction),
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {fraction}")
+    if single_source_fraction + pair_fraction > 1.0:
+        raise ValueError(
+            "single_source_fraction + pair_fraction must be <= 1, got "
+            f"{single_source_fraction + pair_fraction}"
+        )
+    if queries is None:
+        queries = make_queries(
+            family, seed, count=query_count, include_starred=include_starred
+        )
+    else:
+        queries = tuple(queries)
+        if not queries:
+            raise ValueError("queries must not be empty")
+    seed_key = (
+        seed,
+        family,
+        "traffic",
+        count,
+        repr(write_fraction),
+        repr(single_source_fraction),
+        repr(pair_fraction),
+    )
+    rng = random.Random(seed_key.__repr__())
+    kinds = [
+        "update" if rng.random() < write_fraction else "query"
+        for _ in range(count)
+    ]
+    num_batches = kinds.count("update")
+    stream: tuple[UpdateOp, ...] = ()
+    if num_batches:
+        stream = make_update_stream(
+            family,
+            seed,
+            count=num_batches * batch_size,
+            base=base,
+            delete_fraction=delete_fraction,
+            reinsert_fraction=reinsert_fraction,
+        )
+    # Endpoint pool in canonical (sorted) order so index-based draws are
+    # process-independent, matching make_update_stream.
+    pool: list[str] = sorted(
+        {
+            str(node)
+            for pairs in (base or {}).values()
+            for pair in pairs
+            for node in pair
+        }
+    )
+    ops: list[TrafficOp] = []
+    cursor = 0
+    for kind in kinds:
+        if kind == "update":
+            batch = stream[cursor : cursor + batch_size]
+            cursor += batch_size
+            ops.append(TrafficOp(kind="update", updates=tuple(batch)))
+            continue
+        query = queries[rng.randrange(len(queries))]
+        shape = rng.random()
+        if pool and shape < single_source_fraction:
+            ops.append(
+                TrafficOp(
+                    kind="query",
+                    mode="single_source",
+                    query=query,
+                    source=pool[rng.randrange(len(pool))],
+                )
+            )
+        elif pool and shape < single_source_fraction + pair_fraction:
+            ops.append(
+                TrafficOp(
+                    kind="query",
+                    mode="pair",
+                    query=query,
+                    source=pool[rng.randrange(len(pool))],
+                    target=pool[rng.randrange(len(pool))],
+                )
+            )
+        else:
+            ops.append(TrafficOp(kind="query", mode="all", query=query))
     return tuple(ops)
 
 

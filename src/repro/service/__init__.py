@@ -18,13 +18,20 @@ halves built underneath it:
   single-pair answering against the current store version, with plan
   state immune to data changes and evaluation state invalidated by them;
 * :func:`answer_on_extensions` — the shared one-shot helper turning raw
-  extensions into answers (used by the ``repro.rpq`` convenience API).
+  extensions into answers (used by the ``repro.rpq`` convenience API);
+* :class:`RPQServer` / :class:`TenantConfig` / :func:`run_in_thread` —
+  the async multi-tenant HTTP/JSON front end: executor-confined tenants
+  with version-pinned reads, bounded admission (429 on overflow), and
+  per-tenant stats (:mod:`repro.service.server`; its closed-loop load
+  generator and differential oracle live in
+  :mod:`repro.service.loadgen`).
 
 See ``docs/architecture.md`` for the layer diagram and
 ``docs/quickstart.md`` for an executable end-to-end walkthrough.
 """
 
 from .plancache import RewritePlanCache, plan_from_dict, plan_key, plan_to_dict
+from .server import RPQServer, ServerHandle, TenantConfig, run_in_thread
 from .session import QuerySession
 from .store import MaterializedViewStore, StoreDelta, answer_on_extensions
 
@@ -37,4 +44,8 @@ __all__ = [
     "plan_to_dict",
     "plan_from_dict",
     "QuerySession",
+    "RPQServer",
+    "ServerHandle",
+    "TenantConfig",
+    "run_in_thread",
 ]

@@ -27,7 +27,9 @@ and counted under ``stats["unserializable"]``.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
@@ -49,6 +51,13 @@ from ..rpq.views import RPQViews
 __all__ = ["RewritePlanCache", "plan_key", "plan_to_dict", "plan_from_dict"]
 
 _FORMAT = 1
+
+# Scratch-file serial within this process.  Combined with the pid it
+# makes every _persist write go through a name no other writer — thread,
+# process, or the same cache persisting twice — can be using, so
+# concurrent persists of the same key can never interleave bytes in one
+# scratch file and publish a corrupt plan via os.replace.
+_TMP_SERIAL = itertools.count()
 
 
 def _theory_payload(theory: Theory, encode=None) -> dict[str, Any]:
@@ -289,10 +298,23 @@ class RewritePlanCache:
         except TypeError:
             self.stats["unserializable"] += 1
             return
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(tmp, path)
+        # Unique per (process, call) scratch name: two writers racing on
+        # the same key each stage a complete file and the last os.replace
+        # wins atomically — both outcomes are valid plans.  A shared
+        # ``path.with_suffix(".tmp")`` name would let writer B truncate
+        # the scratch mid-write of writer A, and whoever replaces first
+        # publishes the other's half-written JSON.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         self.stats["saved"] += 1
 
     def warm(

@@ -35,6 +35,7 @@ bidirectional search without computing the full answer set).
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable, Mapping
 
 from ..automata.nfa import NFA
@@ -78,6 +79,23 @@ class QuerySession:
     mid-sweep the session logs ``stats["parallel_failures"]``, answers
     the request on the sequential engine, and disables the pool for its
     remaining lifetime — a degraded session stays correct and usable.
+
+    **Thread safety.**  Every public request method runs under one
+    re-entrant per-session lock (:attr:`lock`), so concurrent ``answer``
+    calls from server handler threads serialize instead of interleaving
+    ``_sync_version``, evaluator refresh, and sweep-state patching
+    (PR 7's memo-write guard narrowed one such race; the lock closes the
+    class).  The lock is re-entrant, so a re-entrant request issued from
+    instrumentation inside an answer still works.  The *store* is not
+    locked by the session — a writer thread that shares a store with
+    live reader threads must mutate it under the same lock::
+
+        with session.lock:
+            store.add("v", "x", "y")
+
+    (The serving front end gets this for free by confining each tenant's
+    session and store to one executor thread; see
+    :mod:`repro.service.server`.)
     """
 
     def __init__(
@@ -115,6 +133,11 @@ class QuerySession:
         # compile to transitions with no matching edges — evaluation
         # results are identical, only cache identity is at stake.
         self._label_domain = frozenset(self.views.symbols)
+        # One re-entrant lock serializes all public requests (and any
+        # store mutation a co-located writer wraps in it): interleaved
+        # answer/update calls from different threads can no longer tear
+        # _sync_version / evaluator refresh / sweep-state patching.
+        self._lock = threading.RLock()
         self._evaluator: ParallelEvaluator | None = None
         self._evaluator_version = -1
         self._parallel_disabled = False
@@ -149,12 +172,20 @@ class QuerySession:
             "delta_edges_applied": 0,
         }
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The per-session re-entrant lock.  All request methods take it;
+        a thread mutating this session's store while other threads read
+        through the session should hold it around the mutation."""
+        return self._lock
+
     # ------------------------------------------------------------------
     # Plans
     # ------------------------------------------------------------------
     def plan(self, query: QuerySpec) -> RPQRewritingResult:
         """The compiled rewrite plan for ``query`` (built at most once)."""
-        return self._plan_entry(query)[1][0]
+        with self._lock:
+            return self._plan_entry(query)[1][0]
 
     def is_exact(self, query: QuerySpec) -> bool:
         """Is the plan's rewriting exact (answers complete, Thm 4.1)?"""
@@ -162,8 +193,9 @@ class QuerySession:
 
     def warm(self, queries: Iterable[QuerySpec]) -> None:
         """Pre-build plans for ``queries`` (e.g. at service startup)."""
-        for query in queries:
-            self._plan_entry(query)
+        with self._lock:
+            for query in queries:
+                self._plan_entry(query)
 
     def _plan_entry(
         self, query: QuerySpec
@@ -272,28 +304,30 @@ class QuerySession:
         Memoized per (plan, store version): repeated requests for the
         same query between updates are dictionary lookups.
         """
-        self.stats["requests"] += 1
-        synced = self._sync_version()
-        key, (_plan, nfa) = self._plan_entry(query)
-        cached = self._answers.get(key)
-        if cached is not None:
-            self.stats["answer_memo_hits"] += 1
-            return cached
-        compiled = self._compiled(nfa)
-        answers = self._evaluate(
-            lambda evaluator: self._parallel_all_pairs(evaluator, compiled),
-            lambda: self._sequential_all_pairs(key, compiled).answers(),
-        )
-        # Memoize only when neither the store nor the memo's version tag
-        # moved while we were evaluating.  Without the guard, a mutation
-        # (or a re-entrant request that re-syncs the memo to the new
-        # version) between the sync above and this write would file
-        # answers computed against the *old* graph under the *new*
-        # version — and every later call at that version would serve the
-        # stale frozenset from the memo.
-        if self.store.version == synced and self._answers_version == synced:
-            self._answers[key] = answers
-        return answers
+        with self._lock:
+            self.stats["requests"] += 1
+            synced = self._sync_version()
+            key, (_plan, nfa) = self._plan_entry(query)
+            cached = self._answers.get(key)
+            if cached is not None:
+                self.stats["answer_memo_hits"] += 1
+                return cached
+            compiled = self._compiled(nfa)
+            answers = self._evaluate(
+                lambda evaluator: self._parallel_all_pairs(evaluator, compiled),
+                lambda: self._sequential_all_pairs(key, compiled).answers(),
+            )
+            # Memoize only when neither the store nor the memo's version
+            # tag moved while we were evaluating.  The lock serializes
+            # *threads*, but a same-thread re-entrant request (this is an
+            # RLock) or a mutation issued from instrumentation inside
+            # _evaluate can still move the store mid-call: without the
+            # guard such a call would file answers computed against the
+            # *old* graph under the *new* version — and every later call
+            # at that version would serve the stale frozenset.
+            if self.store.version == synced and self._answers_version == synced:
+                self._answers[key] = answers
+            return answers
 
     def answer_sorted(self, query: QuerySpec) -> list[Pair]:
         """All answer pairs sorted by ``(node_id(x), node_id(y))``.
@@ -379,44 +413,51 @@ class QuerySession:
         only ever mention stored nodes) — unlike the raw engine, the
         session does not raise on unknown nodes.
         """
-        self.stats["requests"] += 1
-        self._sync_version()
-        _key, (_plan, nfa) = self._plan_entry(query)
-        if not self._known_node(source):
-            return frozenset()
-        compiled = self._compiled(nfa)
-        return self._evaluate(
-            lambda evaluator: evaluator.evaluate_single_source(compiled, source),
-            lambda: _engine.evaluate_single_source(
-                self.store.graph, compiled, source
-            ),
-        )
+        with self._lock:
+            self.stats["requests"] += 1
+            self._sync_version()
+            _key, (_plan, nfa) = self._plan_entry(query)
+            if not self._known_node(source):
+                return frozenset()
+            compiled = self._compiled(nfa)
+            return self._evaluate(
+                lambda evaluator: evaluator.evaluate_single_source(
+                    compiled, source
+                ),
+                lambda: _engine.evaluate_single_source(
+                    self.store.graph, compiled, source
+                ),
+            )
 
     def answer_pair(
         self, query: QuerySpec, source: Hashable, target: Hashable
     ) -> bool:
         """Is ``(source, target)`` in the answer?  Bidirectional search."""
-        self.stats["requests"] += 1
-        self._sync_version()
-        _key, (_plan, nfa) = self._plan_entry(query)
-        if not (self._known_node(source) and self._known_node(target)):
-            return False
-        compiled = self._compiled(nfa)
-        return self._evaluate(
-            lambda evaluator: evaluator.evaluate_pair(compiled, source, target),
-            lambda: _engine.evaluate_pair(
-                self.store.graph, compiled, source, target
-            ),
-        )
+        with self._lock:
+            self.stats["requests"] += 1
+            self._sync_version()
+            _key, (_plan, nfa) = self._plan_entry(query)
+            if not (self._known_node(source) and self._known_node(target)):
+                return False
+            compiled = self._compiled(nfa)
+            return self._evaluate(
+                lambda evaluator: evaluator.evaluate_pair(
+                    compiled, source, target
+                ),
+                lambda: _engine.evaluate_pair(
+                    self.store.graph, compiled, source, target
+                ),
+            )
 
     def close(self) -> None:
         """Release evaluation resources (the shard evaluator's worker
         pool, when parallelism is on).  Idempotent, and the session stays
         usable: the next parallel request rebuilds what it needs."""
-        if self._evaluator is not None:
-            self._evaluator.close()
-            self._evaluator = None
-            self._evaluator_version = -1
+        with self._lock:
+            if self._evaluator is not None:
+                self._evaluator.close()
+                self._evaluator = None
+                self._evaluator_version = -1
 
     def __enter__(self) -> "QuerySession":
         return self
@@ -433,7 +474,8 @@ class QuerySession:
         shared, so a batch retains exactly one construction per distinct
         query across the session's lifetime.
         """
-        return [self.answer(query) for query in queries]
+        with self._lock:
+            return [self.answer(query) for query in queries]
 
     def __repr__(self) -> str:
         parallel = ""

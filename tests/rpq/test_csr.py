@@ -126,6 +126,111 @@ class TestSaveLoad:
         assert loaded.labels == ()
 
 
+class TestDurability:
+    """Regressions for the crash-mid-write / truncated-file defects.
+
+    The defects: ``save`` wrote directly to the destination path, so a
+    crash mid-write left a truncated file at the *published* name; and
+    ``load`` trusted the manifest without checking the file actually
+    holds the bytes it promises, so a lazily-mapping pool worker got
+    short read-only views and crashed deep inside the kernel.  Now
+    ``save`` stages through a unique scratch file and publishes with one
+    ``os.replace``, and ``load`` rejects bad magic / short headers /
+    missing array bytes with a clear ``ValueError`` up front.
+    """
+
+    def _snapshot(self):
+        db = random_graph(random.Random(11), 60, ["a", "b"], 250)
+        return CSRSnapshot.from_graph(db)
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_truncated_array_data_rejected(self, tmp_path, mmap):
+        snapshot = self._snapshot()
+        path = tmp_path / "graph.csr"
+        snapshot.save(path)
+        full = path.read_bytes()
+        # Cut inside the raw array region: the header parses, the
+        # manifest promises more bytes than the file holds.
+        path.write_bytes(full[: len(full) - 128])
+        with pytest.raises(ValueError, match="truncated"):
+            CSRSnapshot.load(path, mmap=mmap)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        snapshot = self._snapshot()
+        path = tmp_path / "graph.csr"
+        snapshot.save(path)
+        full = path.read_bytes()
+        # Cut inside the pickled header (magic is 8 bytes, length 8 more).
+        path.write_bytes(full[:40])
+        with pytest.raises(ValueError, match="truncated"):
+            CSRSnapshot.load(path)
+
+    def test_truncated_length_field_rejected(self, tmp_path):
+        path = tmp_path / "graph.csr"
+        from repro.rpq import csr as csr_mod
+
+        path.write_bytes(csr_mod._MAGIC + b"\x03")  # magic, then 1 of 8 bytes
+        with pytest.raises(ValueError, match="truncated"):
+            CSRSnapshot.load(path)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        from repro.rpq import csr as csr_mod
+
+        path = tmp_path / "graph.csr"
+        garbage = b"\xde\xad\xbe\xef" * 8
+        path.write_bytes(
+            csr_mod._MAGIC + len(garbage).to_bytes(8, "little") + garbage
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            CSRSnapshot.load(path)
+
+    def test_crash_mid_write_leaves_destination_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        """The failing-before scenario: a writer dying mid-save used to
+        leave a truncated file at the published path."""
+        snapshot = self._snapshot()
+        path = tmp_path / "graph.csr"
+        snapshot.save(path)
+        good_bytes = path.read_bytes()
+
+        def die_mid_write(self, handle):
+            handle.write(good_bytes[: len(good_bytes) // 2])
+            raise OSError("injected: writer crashed mid-save")
+
+        monkeypatch.setattr(CSRSnapshot, "_write_payload", die_mid_write)
+        with pytest.raises(OSError, match="injected"):
+            self._snapshot().save(path)
+        assert path.read_bytes() == good_bytes, (
+            "a crashed save corrupted the published snapshot"
+        )
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "graph.csr"]
+        assert leftovers == [], f"crashed save left scratch files: {leftovers}"
+        # The survivor still loads and evaluates.
+        CSRSnapshot.load(path, mmap=True)
+
+    def test_save_publishes_through_unique_scratch_names(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.rpq import csr as csr_mod
+
+        real_replace = csr_mod.os.replace
+        staged = []
+
+        def record(src, dst):
+            staged.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(csr_mod.os, "replace", record)
+        snapshot = self._snapshot()
+        path = tmp_path / "graph.csr"
+        snapshot.save(path)
+        snapshot.save(path)
+        assert len(staged) == 2 and staged[0] != staged[1]
+        for tmp in staged:
+            assert tmp.endswith(".tmp")
+
+
 class TestMutationCountCaching:
     def test_counter_moves_only_on_effective_mutations(self):
         db = GraphDB()

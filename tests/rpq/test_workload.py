@@ -394,3 +394,144 @@ def test_update_stream_bad_arguments_rejected():
         make_update_stream("chain", seed=0, count=5, reinsert_fraction=-0.5)
     with pytest.raises(ValueError):
         make_update_stream("chain", seed=0, count=5, symbols=())
+
+
+# ----------------------------------------------------------------------
+# Traffic mixes (the serving half)
+# ----------------------------------------------------------------------
+
+_TRAFFIC_CHILD_SCRIPT = """
+import json, sys
+from repro.rpq.workload import FAMILIES, make_traffic_mix
+
+seed, count = int(sys.argv[1]), int(sys.argv[2])
+base = {"v_a": [("n0", "n1"), ("n1", "n2")], "v_b": [("n2", "n0")]}
+out = {}
+for family in FAMILIES:
+    ops = make_traffic_mix(
+        family, seed, count=count, base=base, write_fraction=0.3,
+        batch_size=2, delete_fraction=0.4,
+    )
+    out[family] = [
+        [
+            op.kind, op.mode, op.query, op.source, op.target,
+            [[u.op, u.symbol, u.source, u.target] for u in op.updates],
+        ]
+        for op in ops
+    ]
+print(json.dumps(out))
+"""
+
+
+def test_traffic_mix_reproduces_across_processes():
+    from repro.rpq.workload import make_traffic_mix
+
+    seed, count = 20260808, 30
+    base = {"v_a": [("n0", "n1"), ("n1", "n2")], "v_b": [("n2", "n0")]}
+    expected = {}
+    for family in FAMILIES:
+        ops = make_traffic_mix(
+            family, seed, count=count, base=base, write_fraction=0.3,
+            batch_size=2, delete_fraction=0.4,
+        )
+        expected[family] = [
+            [
+                op.kind, op.mode, op.query, op.source, op.target,
+                [[u.op, u.symbol, u.source, u.target] for u in op.updates],
+            ]
+            for op in ops
+        ]
+    proc = subprocess.run(
+        [sys.executable, "-c", _TRAFFIC_CHILD_SCRIPT, str(seed), str(count)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random"},
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == expected
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_traffic_mix_update_batches_replay_consistently(family):
+    """The mix's update batches, applied in stream order, are exactly
+    one consistent make_update_stream: every op effective once."""
+    from repro.rpq.workload import make_traffic_mix
+
+    base = {
+        "v_a": [("n0", "n1"), ("n1", "n2"), ("n2", "n0")],
+        "v_b": [("n0", "n2")],
+    }
+    ops = make_traffic_mix(
+        family, seed=7, count=60, base=base, write_fraction=0.4,
+        batch_size=3, delete_fraction=0.5,
+    )
+    assert len(ops) == 60
+    updates = [u for op in ops if op.kind == "update" for u in op.updates]
+    assert updates, "a 0.4 write fraction over 60 requests produced no updates"
+    _replay(updates, base)  # raises on any ineffective op
+    for op in ops:
+        if op.kind == "update":
+            assert len(op.updates) == 3
+            assert op.query is None
+        else:
+            assert op.updates == ()
+            assert op.query
+
+
+def test_traffic_mix_query_shapes_and_endpoints():
+    from repro.rpq.workload import make_traffic_mix
+
+    base = {"v_a": [("n0", "n1"), ("n1", "n2")]}
+    nodes = {"n0", "n1", "n2"}
+    ops = make_traffic_mix(
+        "chain", seed=2, count=120, base=base, write_fraction=0.0,
+        single_source_fraction=0.3, pair_fraction=0.2,
+    )
+    modes = {"all": 0, "single_source": 0, "pair": 0}
+    for op in ops:
+        assert op.kind == "query"
+        modes[op.mode] += 1
+        if op.mode == "single_source":
+            assert op.source in nodes and op.target is None
+        elif op.mode == "pair":
+            assert op.source in nodes and op.target in nodes
+        else:
+            assert op.source is None and op.target is None
+    assert all(modes.values()), modes
+    for op in ops:
+        RPQ(op.query)  # every emitted query parses
+
+
+def test_traffic_mix_without_base_is_all_pairs_only():
+    from repro.rpq.workload import make_traffic_mix
+
+    ops = make_traffic_mix(
+        "grid", seed=4, count=40, write_fraction=0.0,
+        single_source_fraction=0.5, pair_fraction=0.5,
+    )
+    assert all(op.mode == "all" for op in ops)
+
+
+def test_traffic_mix_explicit_queries_and_bad_arguments():
+    from repro.rpq.workload import make_traffic_mix
+
+    ops = make_traffic_mix(
+        "chain", seed=1, count=10, queries=("a.b",), write_fraction=0.0
+    )
+    assert {op.query for op in ops} == {"a.b"}
+    with pytest.raises(ValueError, match="at least one request"):
+        make_traffic_mix("chain", seed=1, count=0)
+    with pytest.raises(ValueError, match="unknown workload family"):
+        make_traffic_mix("blob", seed=1, count=5)
+    with pytest.raises(ValueError, match="batch_size"):
+        make_traffic_mix("chain", seed=1, count=5, batch_size=0)
+    with pytest.raises(ValueError, match="write_fraction"):
+        make_traffic_mix("chain", seed=1, count=5, write_fraction=1.5)
+    with pytest.raises(ValueError, match="must be <= 1"):
+        make_traffic_mix(
+            "chain", seed=1, count=5,
+            single_source_fraction=0.7, pair_fraction=0.7,
+        )
+    with pytest.raises(ValueError, match="queries must not be empty"):
+        make_traffic_mix("chain", seed=1, count=5, queries=())

@@ -1,0 +1,158 @@
+"""Regression: concurrent plan persists must never interleave scratch bytes.
+
+The defect: ``RewritePlanCache._persist`` staged every plan through the
+*same* scratch name, ``path.with_suffix(".tmp")``.  Two writers
+persisting the same key concurrently (two server processes warming the
+same plan directory, or two sessions sharing one cache) therefore opened
+one scratch file: writer B's ``open(..., "w")`` truncated writer A's
+half-written JSON, and whichever ``os.replace`` ran first published the
+other writer's incomplete bytes as the plan file — corrupt JSON at the
+published path, surfacing later as ``load_errors`` (or worse, a rebuild
+storm) in every process that trusted the cache.
+
+The fix: each persist stages through a unique ``<name>.<pid>.<serial>.tmp``
+scratch file, so concurrent writers each publish a *complete* file and
+``os.replace`` keeps the last one — both outcomes valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.rpq import RPQViews, Theory
+from repro.service import RewritePlanCache
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+@pytest.fixture
+def views():
+    return RPQViews({"q1": "a", "q2": "b"})
+
+
+@pytest.fixture
+def theory():
+    return Theory.trivial({"a", "b"})
+
+
+class TestUniqueScratchNames:
+    def _captured_tmp_paths(self, monkeypatch, persist_calls):
+        """Run ``persist_calls`` with os.replace capturing scratch paths."""
+        import repro.service.plancache as plancache_mod
+
+        real_replace = os.replace
+        staged: list[str] = []
+
+        def record(src, dst):
+            staged.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(plancache_mod.os, "replace", record)
+        persist_calls()
+        return staged
+
+    def test_two_persists_of_same_key_use_distinct_scratch_files(
+        self, tmp_path, monkeypatch, views, theory
+    ):
+        """The failing-before property: with the shared ``.tmp`` name two
+        persists of one key stage through the same file; now every
+        persist must get its own scratch path."""
+        cache_a = RewritePlanCache(tmp_path)
+        cache_b = RewritePlanCache(tmp_path)
+
+        def persist_twice():
+            plan = cache_a.get_or_build("a.b", views, theory)
+            key = cache_a.key("a.b", views, theory)
+            # A second writer persisting the same key concurrently.
+            cache_b._persist(key, plan, "a.b")
+
+        staged = self._captured_tmp_paths(monkeypatch, persist_twice)
+        assert len(staged) == 2
+        assert staged[0] != staged[1], (
+            "two persists of one key shared a scratch file; concurrent "
+            "writers would interleave bytes in it"
+        )
+        for tmp in staged:
+            assert f".{os.getpid()}." in tmp, (
+                "scratch name must embed the pid so writers in different "
+                "processes cannot collide either"
+            )
+            assert not os.path.exists(tmp), "scratch file left behind"
+
+    def test_scratch_removed_when_publish_fails(
+        self, tmp_path, monkeypatch, views, theory
+    ):
+        import repro.service.plancache as plancache_mod
+
+        def explode(src, dst):
+            raise OSError("injected: publish failed")
+
+        monkeypatch.setattr(plancache_mod.os, "replace", explode)
+        cache = RewritePlanCache(tmp_path)
+        with pytest.raises(OSError, match="injected"):
+            cache.get_or_build("a.b", views, theory)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == [], f"failed persist left files behind: {leftovers}"
+
+
+_HAMMER_CHILD = """
+import sys
+from repro.rpq import RPQViews, Theory
+from repro.service import RewritePlanCache
+
+plan_dir, rounds = sys.argv[1], int(sys.argv[2])
+views = RPQViews({"q1": "a", "q2": "b"})
+theory = Theory.trivial({"a", "b"})
+plan = RewritePlanCache().get_or_build("a.b", views, theory)
+disk_cache = RewritePlanCache(plan_dir)
+key = disk_cache.key("a.b", views, theory)
+for _ in range(rounds):
+    disk_cache._persist(key, plan, "a.b")
+print(disk_cache.stats["saved"])
+"""
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_never_publish_corrupt_json(
+        self, tmp_path, views, theory
+    ):
+        """Four processes hammering one key: the published file must be
+        valid, loadable JSON afterwards (with the shared scratch name
+        this raced; unique names make it deterministic)."""
+        plan_dir = tmp_path / "plans"
+        plan_dir.mkdir()
+        rounds = 10
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", _HAMMER_CHILD, str(plan_dir), str(rounds)],
+                env={**os.environ, "PYTHONPATH": str(SRC)},
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(4)
+        ]
+        for child in children:
+            out, err = child.communicate(timeout=600)
+            assert child.returncode == 0, err
+            assert out.strip() == str(rounds)
+
+        fresh = RewritePlanCache(plan_dir)
+        key = fresh.key("a.b", views, theory)
+        with open(plan_dir / f"{key}.json", encoding="utf-8") as handle:
+            json.load(handle)  # parses: nobody published a torn file
+        loaded = fresh.get("a.b", views, theory)
+        assert loaded is not None
+        assert fresh.stats["load_errors"] == 0
+        assert fresh.stats["loaded"] == 1
+        assert loaded.is_exact() == RewritePlanCache().get_or_build(
+            "a.b", views, theory
+        ).is_exact()
+        leftovers = [p for p in plan_dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

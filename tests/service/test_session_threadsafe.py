@@ -1,0 +1,150 @@
+"""Regression: QuerySession must survive interleaved answer/mutate threads.
+
+The defect: the session had no internal synchronization, so server
+handler threads interleaving ``answer`` with store mutations could tear
+its compound state transitions — ``_sync_version`` clearing the memo
+while another thread was filling it, two threads racing an evaluator
+refresh, or a sweep state being patched while a second reader resumed
+the same fixpoint (PR 7's memo-write guard narrowed the memo race but
+not the rest).  The fix: one re-entrant per-session lock around every
+public request method, exposed as ``session.lock`` so a writer sharing
+the store with live reader threads can serialize its mutations too.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.rpq import Theory
+from repro.service import MaterializedViewStore, QuerySession
+
+
+def _fixture():
+    store = MaterializedViewStore(
+        {"q1": [("u", "v"), ("w", "v")], "q2": [("v", "z")]}
+    )
+    theory = Theory.trivial({"a", "b"})
+    views = {"q1": "a", "q2": "b"}
+    return store, views, theory, QuerySession(store, views, theory)
+
+
+class TestHammerInterleavings:
+    ROUNDS = 120
+
+    def _hammer(self, session, store, *, readers=3):
+        """Writer thread mutating under the lock + reader threads issuing
+        all three request shapes, as server handlers would."""
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(self.ROUNDS):
+                    with session.lock:
+                        store.add("q1", f"x{i}", "v")
+                    session.answer("a.b")
+                    if i % 3 == 0:
+                        with session.lock:
+                            store.remove("q1", f"x{i}", "v")
+                        session.answer("a.b")
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    answers = session.answer("a.b")
+                    assert isinstance(answers, frozenset)
+                    assert session.answer_from("a.b", "u") <= {
+                        y for _x, y in answers
+                    } | {"z"}
+                    session.answer_pair("a.b", "u", "z")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader) for _ in range(readers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "hammer deadlocked"
+        return errors
+
+    def test_concurrent_answer_and_update_threads(self):
+        store, views, theory, session = _fixture()
+        errors = self._hammer(session, store)
+        assert errors == [], f"interleaved threads broke the session: {errors}"
+        # Post-hammer state is coherent: answers match a fresh session
+        # over the same store, and the memo holds current-version data.
+        fresh = QuerySession(store, views, theory)
+        assert session.answer("a.b") == fresh.answer("a.b")
+        assert session.answer_sorted("a.b") == fresh.answer_sorted("a.b")
+
+    def test_concurrent_threads_with_incremental_states(self):
+        """The delta-maintained path (retained sweep states patched by
+        every replayable delta) under the same interleavings."""
+        store, views, theory, session = _fixture()
+        session.answer("a.b")  # retain a sweep state before the hammer
+        errors = self._hammer(session, store, readers=2)
+        assert errors == [], errors
+        fresh = QuerySession(store, views, theory)
+        assert session.answer_sorted("a.b") == fresh.answer_sorted("a.b")
+        assert session.stats["incremental_updates"] > 0
+
+    def test_lock_is_reentrant_for_nested_requests(self):
+        _store, _views, _theory, session = _fixture()
+        with session.lock:
+            with session.lock:
+                assert session.answer_pair("a.b", "u", "z")
+
+    def test_lock_serializes_compound_read_modify_read(self):
+        """Holding the lock really excludes other threads' requests."""
+        store, _views, _theory, session = _fixture()
+        session.answer("a.b")
+        observed = []
+        entered = threading.Event()
+
+        def other():
+            entered.set()
+            observed.append(session.answer("a.b"))
+
+        thread = threading.Thread(target=other)
+        with session.lock:
+            store.add("q1", "locked", "v")
+            thread.start()
+            entered.wait(timeout=10)
+            # The other thread is blocked on the lock: nothing observed
+            # until we release, so it can only see the post-mutation set.
+            assert observed == []
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert observed and ("locked", "z") in observed[0]
+
+
+class TestWarmAndCloseUnderLock:
+    def test_warm_and_close_are_guarded(self):
+        store, _views, _theory, session = _fixture()
+        done = []
+
+        def background():
+            session.warm(["a.b", "b"])
+            session.answer("a.b")
+            done.append(True)
+
+        threads = [threading.Thread(target=background) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(done) == 4
+        session.close()
+        assert session.answer_pair("a.b", "u", "z")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -449,6 +449,74 @@ class TestServeBench:
         assert "steady state" in out
 
 
+class TestServe:
+    """The serve verb needs a subprocess: it blocks until shutdown."""
+
+    def test_serves_http_until_shutdown(self):
+        import json
+        import os
+        import subprocess
+        import sys
+        import urllib.request
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--workload-tenant", "alpha=chain:3:40",
+                "--workload-tenant", "beta=grid:5:40",
+            ],
+            env={**os.environ, "PYTHONPATH": str(src)},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving 2 tenant(s) on http://" in banner
+            url = banner.strip().rsplit(" ", 1)[-1]
+            with urllib.request.urlopen(f"{url}/health", timeout=30) as resp:
+                health = json.load(resp)
+            assert set(health["tenants"]) == {"alpha", "beta"}
+            request = urllib.request.Request(
+                f"{url}/tenants/alpha/query",
+                data=json.dumps({"query": "a.b"}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                body = json.load(resp)
+            assert body["version"] == health["tenants"]["alpha"]["version"]
+            assert isinstance(body["answers"], list)
+            request = urllib.request.Request(
+                f"{url}/shutdown", data=b"{}", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                assert json.load(resp)["status"] == "shutting-down"
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_bad_tenant_specs_rejected(self):
+        with pytest.raises(SystemExit, match="expected NAME=FAMILY:SEED:EDGES"):
+            main(["serve", "--workload-tenant", "nonsense"])
+        with pytest.raises(SystemExit, match="must be integers"):
+            main(["serve", "--workload-tenant", "t=chain:x:40"])
+        with pytest.raises(SystemExit, match="unknown family"):
+            main(["serve", "--workload-tenant", "t=blob:1:40"])
+        with pytest.raises(SystemExit, match="duplicate tenant"):
+            main(
+                [
+                    "serve",
+                    "--workload-tenant", "t=chain:1:40",
+                    "--workload-tenant", "t=grid:1:40",
+                ]
+            )
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
