@@ -1,0 +1,110 @@
+"""RECOVERY: checkpoint+replay restart cost and the fsync write tax.
+
+The ISSUE 10 acceptance gates for the durability layer, measured rather
+than asserted structurally:
+
+* **recovery time** — a tenant with a rolled checkpoint and a live WAL
+  suffix must come back through :func:`repro.service.recovery.recover_store`
+  in bounded time, landing on the exact pre-crash snapshot (the
+  correctness half is byte-compared here too, so a fast-but-wrong
+  recovery cannot pass);
+* **fsync overhead** — the durable serving path with the default
+  ``fsync="batch"`` group-commit policy must stay within 30% of the
+  ``fsync="off"`` throughput on the same closed-loop oracle-checked
+  mix (:func:`repro.service.loadgen.run_server_benchmark`).  This is
+  the bound that makes "durable by default" a shippable setting rather
+  than a benchmark footnote.
+
+The wall-clock ceilings are deliberately coarse (an order of magnitude
+above local measurements) — they catch an accidentally quadratic replay
+or a per-record fsync sneaking into the batch path, not slow CI boxes.
+
+Run with ``-s`` to see the report::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.loadgen import run_server_benchmark
+from repro.service.recovery import TenantDurability, recover_store
+
+RECOVERY_CEILING_SECONDS = 30.0
+BATCH_OVER_OFF_FLOOR = 0.70  # batch must keep >= 70% of off's throughput
+WRITES = 400
+
+
+def _build_tenant_dir(directory) -> tuple[int, object]:
+    """Seed a tenant, push WRITES single-tuple batches through the WAL
+    with checkpoints rolling, and return (version, snapshot)."""
+    durability = TenantDurability(directory, checkpoint_every_bytes=16 * 1024)
+    store = durability.open_or_recover(
+        {"q1": [("u", "v"), ("w", "v")], "q2": [("v", "z")]}
+    )
+    for index in range(WRITES):
+        store.add("q1", f"n{index}", "v")
+        durability.wal.commit()
+        durability.maybe_checkpoint(store)
+    version, snapshot = store.snapshot()
+    durability.close()
+    return version, snapshot
+
+
+def test_recovery_time_and_fidelity(tmp_path):
+    version, snapshot = _build_tenant_dir(tmp_path)
+
+    start = time.perf_counter()
+    result = recover_store(tmp_path)
+    elapsed = time.perf_counter() - start
+
+    recovered_version, recovered_snapshot = result.store.snapshot()
+    print()
+    print(
+        f"recovery: {WRITES} writes -> version {recovered_version} "
+        f"(checkpoint v{result.checkpoint_version}, "
+        f"{result.replayed} WAL records replayed) in {elapsed * 1e3:.1f} ms"
+    )
+    assert recovered_version == version
+    assert recovered_snapshot == snapshot
+    assert result.wal_error is None
+    assert result.quarantined == []
+    assert elapsed <= RECOVERY_CEILING_SECONDS, (
+        f"recovery took {elapsed:.1f}s, over the "
+        f"{RECOVERY_CEILING_SECONDS:.0f}s ceiling"
+    )
+
+
+def test_fsync_batch_overhead_within_30_percent(tmp_path):
+    """Group commit keeps durable serving within 30% of the no-sync
+    throughput.  Both runs are full oracle-checked closed loops, so the
+    comparison also re-proves answer fidelity under each policy."""
+    reports = {}
+    for policy in ("off", "batch"):
+        reports[policy] = run_server_benchmark(
+            families=("grid",),
+            seed=20260808,
+            edges=200,
+            requests_per_tenant=120,
+            write_fraction=0.3,
+            readers_per_tenant=2,
+            data_dir=str(tmp_path / policy),
+            fsync=policy,
+        )
+    print()
+    for policy, report in reports.items():
+        print(
+            f"fsync={policy:<5} {report.throughput:8.1f} req/s   "
+            f"p99 {report.p99_ms:6.1f} ms   updates {report.updates}"
+        )
+        assert report.errors == 0
+        assert report.oracle_checked == report.queries > 0
+        assert report.updates > 0
+
+    ratio = reports["batch"].throughput / reports["off"].throughput
+    print(f"batch/off throughput ratio: {ratio:.2f}")
+    assert ratio >= BATCH_OVER_OFF_FLOOR, (
+        f"fsync=batch throughput is {ratio:.0%} of fsync=off — the "
+        f"group-commit path must keep at least {BATCH_OVER_OFF_FLOOR:.0%}"
+    )

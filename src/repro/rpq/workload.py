@@ -55,6 +55,7 @@ __all__ = [
     "TrafficOp",
     "UpdateOp",
     "Workload",
+    "make_crash_points",
     "make_graph",
     "make_queries",
     "make_traffic_mix",
@@ -622,6 +623,42 @@ def make_traffic_mix(
         else:
             ops.append(TrafficOp(kind="query", mode="all", query=query))
     return tuple(ops)
+
+
+def make_crash_points(
+    family: str,
+    seed: int,
+    *,
+    count: int = 3,
+    min_delay: float = 0.05,
+    max_delay: float = 0.60,
+) -> tuple[float, ...]:
+    """A seeded schedule of kill delays for fault-injection harnesses.
+
+    Each entry is how long (in seconds) to let a server absorb live
+    traffic before ``kill -9``-ing it — drawn uniformly from
+    ``[min_delay, max_delay)`` so the kill lands at a different point of
+    the write stream on every round (mid-batch, between batches, during
+    a checkpoint) while staying reproducible: the same
+    ``(family, seed, count, bounds)`` always yields the same schedule,
+    honouring the module's determinism contract.  Wall-clock delays
+    rather than op indices are deliberate: they also catch crashes
+    inside background work (checkpoint rolls, fsync) that no op index
+    can address.
+    """
+    _check_family(family)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not 0 <= min_delay <= max_delay:
+        raise ValueError(
+            f"need 0 <= min_delay <= max_delay, got {min_delay}..{max_delay}"
+        )
+    seed_key = (seed, family, "crash-points", count, min_delay, max_delay)
+    rng = random.Random(seed_key.__repr__())
+    return tuple(
+        min_delay + (max_delay - min_delay) * rng.random()
+        for _ in range(count)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -24,16 +24,32 @@ halves built underneath it:
   with version-pinned reads, bounded admission (429 on overflow), and
   per-tenant stats (:mod:`repro.service.server`; its closed-loop load
   generator and differential oracle live in
-  :mod:`repro.service.loadgen`).
+  :mod:`repro.service.loadgen`);
+* :class:`WriteAheadLog` / :class:`TenantDurability` — crash safety for
+  the serving stack: every acknowledged mutation is CRC-framed into a
+  per-tenant write-ahead log before the HTTP 200, checkpoints roll as
+  the log grows, and startup reconstructs the exact acknowledged state
+  — torn tails truncated, corrupt checkpoints quarantined with fallback
+  (:mod:`repro.service.wal`, :mod:`repro.service.recovery`).
 
 See ``docs/architecture.md`` for the layer diagram and
 ``docs/quickstart.md`` for an executable end-to-end walkthrough.
 """
 
 from .plancache import RewritePlanCache, plan_from_dict, plan_key, plan_to_dict
+from .recovery import (
+    RecoveryError,
+    RecoveryResult,
+    TenantDurability,
+    list_checkpoints,
+    load_checkpoint,
+    recover_store,
+    write_checkpoint,
+)
 from .server import RPQServer, ServerHandle, TenantConfig, run_in_thread
 from .session import QuerySession
 from .store import MaterializedViewStore, StoreDelta, answer_on_extensions
+from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "MaterializedViewStore",
@@ -48,4 +64,15 @@ __all__ = [
     "ServerHandle",
     "TenantConfig",
     "run_in_thread",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+    "RecoveryError",
+    "RecoveryResult",
+    "TenantDurability",
+    "list_checkpoints",
+    "load_checkpoint",
+    "recover_store",
+    "write_checkpoint",
 ]

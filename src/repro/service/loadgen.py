@@ -22,6 +22,11 @@ to check it, not just to produce load:
   read at its pinned version, comparing the JSON payloads byte for
   byte.  Any interleaving bug — a torn read, a version misreport, an
   incremental-maintenance divergence — shows up as a mismatch here.
+* :func:`replay_crash_oracle` is the crash-aware variant behind the
+  ``kill -9`` fault-injection tests: it tolerates an interrupted run
+  (acked writes are a prefix; at most one unacked batch may have
+  reached the WAL) and positions an oracle at the recovered version so
+  every recovered answer can be byte-checked against it.
 
 :func:`run_server_benchmark` bundles the three into the repeatable
 harness behind ``benchmarks/bench_server_latency.py``: N tenants,
@@ -50,6 +55,7 @@ __all__ = [
     "TenantWorkload",
     "make_tenant_config",
     "make_tenant_workload",
+    "replay_crash_oracle",
     "replay_oracle",
     "run_loadgen",
     "run_server_benchmark",
@@ -395,6 +401,109 @@ def replay_oracle(workload: TenantWorkload, records: list[dict]) -> int:
     return checked
 
 
+def replay_crash_oracle(
+    workload: TenantWorkload,
+    acked_writes: list[dict],
+    recovered_version: int,
+) -> tuple[MaterializedViewStore, QuerySession]:
+    """The durability oracle: check a recovered tenant against its stream.
+
+    After a ``kill -9`` and restart, a durable tenant's recovered
+    version must account for **every** acknowledged write and **at most
+    one** unacknowledged batch beyond them: the load generator drives
+    one synchronous writer per tenant (send, await the 200, send the
+    next), so the batches acknowledged before the kill are a prefix of
+    the update stream, and the only write the crash can have caught
+    mid-flight — applied and logged but never acknowledged — is the
+    single next batch.  Anything less than the acked prefix is
+    acknowledged-write loss; anything more than one extra batch means
+    writes were acknowledged that the client never saw.
+
+    ``acked_writes`` holds the ``response`` payloads (seq, version,
+    applied) of the update batches acknowledged before the kill.
+    Replays the stream single-threaded, verifies each acked batch's
+    reported version/applied byte-for-byte, rolls forward through the
+    optional in-flight batch to ``recovered_version``, and returns the
+    oracle ``(store, session)`` positioned there — ready for answer
+    comparison against the recovered server.  Raises AssertionError on
+    any violation.
+    """
+    write_ops = [
+        op for op in workload.traffic if op.kind == "update" and op.updates
+    ]
+    acked = sorted(acked_writes, key=lambda response: response["seq"])
+    seqs = [response["seq"] for response in acked]
+    if seqs != list(range(1, len(seqs) + 1)):
+        raise AssertionError(
+            f"tenant {workload.name!r}: acknowledged write seqs {seqs} are "
+            "not the prefix 1..k — the crash harness must drive a single "
+            "synchronous writer"
+        )
+    config = workload.config
+    store = MaterializedViewStore(
+        config.extensions or {}, log_limit=config.log_limit
+    )
+    session = QuerySession(
+        store,
+        config.views,
+        config.theory,
+        incremental=config.incremental,
+        backend=config.backend,
+    )
+
+    def apply_batch(index: int) -> int:
+        applied = 0
+        for update in write_ops[index].updates:
+            if update.op == "insert":
+                applied += store.add(
+                    update.symbol, update.source, update.target
+                )
+            else:
+                applied += store.remove(
+                    update.symbol, update.source, update.target
+                )
+        return applied
+
+    for index, response in enumerate(acked):
+        applied = apply_batch(index)
+        if (
+            store.version != response["version"]
+            or applied != response["applied"]
+        ):
+            raise AssertionError(
+                f"tenant {workload.name!r} acked write #{index + 1}: server "
+                f"reported version={response['version']} "
+                f"applied={response['applied']}, replay reached "
+                f"version={store.version} applied={applied}"
+            )
+    if store.version > recovered_version:
+        raise AssertionError(
+            f"tenant {workload.name!r}: ACKNOWLEDGED WRITE LOST — the "
+            f"acked prefix ends at version {store.version} but recovery "
+            f"only reached version {recovered_version}"
+        )
+    in_flight = 0
+    cursor = len(acked)
+    while store.version < recovered_version and cursor < len(write_ops):
+        apply_batch(cursor)
+        cursor += 1
+        in_flight += 1
+    if store.version != recovered_version:
+        raise AssertionError(
+            f"tenant {workload.name!r}: recovered version "
+            f"{recovered_version} is not reachable from the update stream "
+            f"(replay passed it, landing on {store.version}) — recovery "
+            "materialized state the stream never produced"
+        )
+    if in_flight > 1:
+        raise AssertionError(
+            f"tenant {workload.name!r}: {in_flight} unacknowledged batches "
+            "survived the crash, but a synchronous writer can have at most "
+            "one in flight"
+        )
+    return store, session
+
+
 def _expected_payload(session: QuerySession, response: dict) -> dict:
     query, mode = response["query"], response["mode"]
     if mode == "all":
@@ -477,6 +586,8 @@ def run_server_benchmark(
     parallelism: int | None = None,
     workers: int = 1,
     backend: str = "auto",
+    data_dir=None,
+    fsync: str = "batch",
 ) -> LoadGenReport:
     """Serve N seeded tenants, hammer them closed-loop, check every answer.
 
@@ -485,7 +596,9 @@ def run_server_benchmark(
     (concurrent readers plus a writer per tenant), then replays every
     tenant through :func:`replay_oracle`.  The returned report carries
     throughput and latency percentiles over *accepted* requests; 429s
-    are counted, not timed.
+    are counted, not timed.  ``data_dir``/``fsync`` switch the server
+    into durable mode, which is how ``benchmarks/bench_recovery.py``
+    measures the write-path overhead of WAL commits per fsync policy.
     """
     workloads = [
         make_tenant_workload(
@@ -506,7 +619,9 @@ def run_server_benchmark(
 
     async def main() -> tuple[list[dict], float]:
         server = RPQServer(
-            {workload.name: workload.config for workload in workloads}
+            {workload.name: workload.config for workload in workloads},
+            data_dir=data_dir,
+            fsync=fsync,
         )
         await server.start()
         try:

@@ -31,6 +31,7 @@ import contextlib
 import hashlib
 import itertools
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Mapping
@@ -51,6 +52,8 @@ from ..rpq.views import RPQViews
 __all__ = ["RewritePlanCache", "plan_key", "plan_to_dict", "plan_from_dict"]
 
 _FORMAT = 1
+
+_logger = logging.getLogger(__name__)
 
 # Scratch-file serial within this process.  Combined with the pid it
 # makes every _persist write go through a name no other writer — thread,
@@ -150,6 +153,14 @@ def plan_from_dict(data: Mapping[str, Any]) -> RPQRewritingResult:
     Reconstruction is pure deserialization — no grounding, no subset
     construction, no minimization is re-run.
     """
+    if not isinstance(data, Mapping):
+        # A corrupt file can decode to *any* JSON value (a list, a bare
+        # string); reject it as a ValueError so cache loads treat it
+        # like every other corruption instead of surfacing a puzzling
+        # AttributeError from the key lookups below.
+        raise ValueError(
+            f"plan payload is {type(data).__name__}, expected an object"
+        )
     if data.get("format") != _FORMAT:
         raise ValueError(f"unsupported plan format: {data.get('format')!r}")
     views = RPQViews(
@@ -247,10 +258,19 @@ class RewritePlanCache:
             try:
                 with open(path, encoding="utf-8") as handle:
                     plan = plan_from_dict(json.load(handle))
-            except (OSError, ValueError, KeyError, TypeError):
-                # Stale format, truncated write, corrupt JSON: treat as a
-                # miss so the caller rebuilds (and _persist overwrites the
-                # bad file) instead of failing this key forever.
+            except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+                # Stale format, truncated write, corrupt JSON, or a
+                # payload of the wrong JSON shape: warn and treat as a
+                # miss so the caller rebuilds this one plan (and
+                # _persist overwrites the bad file) instead of a single
+                # damaged entry killing session startup for every query.
+                _logger.warning(
+                    "skipping corrupt plan-cache entry %s (%s: %s); "
+                    "the plan will be recomputed",
+                    path,
+                    type(exc).__name__,
+                    exc,
+                )
                 self.stats["load_errors"] += 1
                 return None
             self._plans[key] = plan

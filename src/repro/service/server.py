@@ -40,6 +40,19 @@ only a compacted-away log falls back to a full recompute, and a worker
 failure inside a sharded sweep degrades that tenant to sequential
 evaluation — both are service-level non-events, not errors.
 
+**Durability** is opt-in via ``data_dir``: each tenant then owns a
+subdirectory with a write-ahead log and rolling checkpoints
+(:mod:`repro.service.wal` / :mod:`repro.service.recovery`).  Every
+mutation is framed into the WAL by the store itself, and the update
+handler commits the batch — per the ``fsync`` policy — *on the tenant
+thread, before the executor future resolves*, so an HTTP 200 for a
+write means the batch is recoverable.  Startup recovers every tenant
+from its directory (config extensions seed only a fresh directory);
+``/shutdown`` drains in-flight requests, rolls a final checkpoint per
+tenant, and joins the executors without cancelling queued writes.
+Request parsing is bounded too: bodies beyond ``max_request_bytes``
+draw a 413 and malformed Content-Length a 400, before any buffering.
+
 The HTTP surface (all bodies JSON)::
 
     GET  /health                     liveness + per-tenant versions
@@ -62,6 +75,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -71,8 +85,10 @@ from ..rpq.query import QuerySpec, RPQ
 from ..rpq.theory import Theory
 from ..rpq.views import RPQViews
 from .plancache import RewritePlanCache
+from .recovery import TenantDurability
 from .session import QuerySession
 from .store import MaterializedViewStore
+from .wal import FSYNC_POLICIES
 
 __all__ = ["RPQServer", "ServerHandle", "Tenant", "TenantConfig", "run_in_thread"]
 
@@ -82,9 +98,24 @@ _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
+
+
+@dataclass(frozen=True)
+class _BadRequest:
+    """A request the parser rejects before routing (400/413).
+
+    Unlike a clean EOF (``None`` from ``_read_request``), the client is
+    owed an error response; the connection is closed after sending it,
+    since the unread remainder of an oversized or malformed request
+    would otherwise be parsed as the next request's head.
+    """
+
+    status: int
+    error: str
 
 
 @dataclass
@@ -126,12 +157,27 @@ class Tenant:
     version property, both safe to observe racily for stats.
     """
 
-    def __init__(self, name: str, config: TenantConfig):
+    def __init__(
+        self,
+        name: str,
+        config: TenantConfig,
+        durability: TenantDurability | None = None,
+    ):
         self.name = name
         self.config = config
-        self.store = MaterializedViewStore(
-            config.extensions or {}, log_limit=config.log_limit
-        )
+        self.durability = durability
+        if durability is not None:
+            # Durable tenant: the data directory is the source of truth.
+            # A fresh directory is seeded from config.extensions and
+            # checkpointed; an existing one recovers the acknowledged
+            # state and ignores config.extensions entirely.
+            self.store = durability.open_or_recover(
+                config.extensions or {}, log_limit=config.log_limit
+            )
+        else:
+            self.store = MaterializedViewStore(
+                config.extensions or {}, log_limit=config.log_limit
+            )
         plans = (
             RewritePlanCache(config.plan_dir)
             if config.plan_dir is not None
@@ -208,12 +254,29 @@ class Tenant:
                 applied += self.store.add(symbol, source, target)
             else:
                 applied += self.store.remove(symbol, source, target)
+        if self.durability is not None:
+            # The ack barrier: the store framed each effective mutation
+            # into the WAL above; commit makes the batch as durable as
+            # the fsync policy promises *before* the 200 is written.
+            # Running here — on the tenant thread, before the executor
+            # future resolves — is what makes "acknowledged" imply
+            # "recoverable".  Checkpoint rolling shares the thread too,
+            # so it serializes with mutations for free.
+            self.durability.wal.commit()
+            self.durability.note_commit()
+            self.durability.maybe_checkpoint(self.store)
         return {
             "seq": seq,
             "applied": applied,
             "requested": len(changes),
             "version": self.store.version,
         }
+
+    def checkpoint_now(self) -> None:
+        """Roll a checkpoint unconditionally (shutdown runs this on the
+        tenant thread so it lands after every drained write)."""
+        if self.durability is not None:
+            self.durability.checkpoint(self.store)
 
     # -- event-loop side -----------------------------------------------
     def stats_payload(self) -> dict:
@@ -228,10 +291,22 @@ class Tenant:
             "session": dict(self.session.stats),
             "plan_cache": dict(self.session.plans.stats),
         }
+        if self.durability is not None:
+            durability = dict(self.durability.stats)
+            durability["fsync"] = self.durability.fsync
+            if self.durability.wal is not None:
+                durability["wal"] = dict(self.durability.wal.stats)
+            payload["durability"] = durability
         return payload
 
     def close(self) -> None:
-        self.executor.shutdown(wait=True, cancel_futures=True)
+        # wait=True *without* cancel_futures: every admitted write that
+        # reached the queue is applied (and WAL-committed) before the
+        # executor dies — cancelling queued futures here is exactly the
+        # clean-shutdown write loss this server promises not to have.
+        self.executor.shutdown(wait=True)
+        if self.durability is not None:
+            self.durability.close()
         self.session.close()
 
 
@@ -277,23 +352,52 @@ class RPQServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        data_dir: str | os.PathLike | None = None,
+        fsync: str = "batch",
+        checkpoint_every_bytes: int = 1 << 20,
+        max_request_bytes: int = 1 << 20,
     ):
         if not tenants:
             raise ValueError("a server needs at least one tenant")
-        self.tenants = {
-            str(name): Tenant(str(name), config)
-            for name, config in tenants.items()
-        }
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        if max_request_bytes < 1:
+            raise ValueError(
+                f"max_request_bytes must be >= 1, got {max_request_bytes}"
+            )
+        self.data_dir = os.fspath(data_dir) if data_dir is not None else None
+        self.fsync = fsync
+        self.max_request_bytes = max_request_bytes
+        self.tenants = {}
+        for name, config in tenants.items():
+            name = str(name)
+            durability = None
+            if self.data_dir is not None:
+                durability = TenantDurability(
+                    os.path.join(self.data_dir, name),
+                    fsync=fsync,
+                    checkpoint_every_bytes=checkpoint_every_bytes,
+                )
+            self.tenants[name] = Tenant(name, config, durability=durability)
         self.host = host
         self.port = port
         self.stats = {
             "requests": 0,
             "rejected": 0,
             "errors": 0,
+            "bad_requests": 0,
             "connections": 0,
         }
         self._server: asyncio.AbstractServer | None = None
         self._shutdown: asyncio.Event | None = None
+        # Requests between head-read and response-drain.  aclose() waits
+        # for this to hit zero before joining tenant executors, so a
+        # clean shutdown never tears the loop down under a response that
+        # acknowledges an applied write.
+        self._inflight = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -322,11 +426,30 @@ class RPQServer:
             self._shutdown.set()
 
     async def aclose(self) -> None:
-        """Stop accepting, then release every tenant's resources."""
+        """Stop accepting, drain, checkpoint, then release tenants.
+
+        The clean-shutdown ordering contract (the one ``/shutdown``
+        relies on): (1) close the listener so no new connection lands;
+        (2) wait for every in-flight request — admitted writes included
+        — to finish executing *and* drain its response; (3) roll a final
+        checkpoint per durable tenant, on the tenant's own executor so
+        it serializes after every drained write; (4) join the executors
+        without cancelling queued work.  Only then may the caller's
+        event loop die: no accepted write is dropped, and restart
+        recovers instantly from the shutdown checkpoint.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        while self._inflight:
+            await asyncio.sleep(0.005)
+        loop = asyncio.get_running_loop()
+        for tenant in self.tenants.values():
+            if tenant.durability is not None:
+                await loop.run_in_executor(
+                    tenant.executor, tenant.checkpoint_now
+                )
         for tenant in self.tenants.values():
             tenant.close()
 
@@ -342,20 +465,51 @@ class RPQServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
+                if isinstance(request, _BadRequest):
+                    # Parse-level rejection (oversized or malformed):
+                    # answer, then close — the unread bytes cannot be
+                    # trusted as a frame boundary for the next request.
+                    self.stats["bad_requests"] += 1
+                    writer.write(
+                        _encode_response(
+                            request.status, {"error": request.error}, False
+                        )
+                    )
+                    await writer.drain()
+                    # Discard (a bounded amount of) whatever the client is
+                    # still sending before closing.  Closing with unread
+                    # bytes in the kernel buffer turns the FIN into an
+                    # RST, which can wipe out the error response we just
+                    # wrote before the client reads it.
+                    with contextlib.suppress(Exception):
+                        for _ in range(64):
+                            chunk = await asyncio.wait_for(
+                                reader.read(65536), timeout=0.25
+                            )
+                            if not chunk:
+                                break
+                    break
                 method, path, headers, body = request
+                self._inflight += 1
                 try:
-                    status, payload = await self._dispatch(method, path, body)
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:  # route bugs must not kill the loop
-                    self.stats["errors"] += 1
-                    status = 500
-                    payload = {"error": f"{type(exc).__name__}: {exc}"}
-                keep_alive = (
-                    headers.get("connection", "keep-alive").lower() != "close"
-                )
-                writer.write(_encode_response(status, payload, keep_alive))
-                await writer.drain()
+                    try:
+                        status, payload = await self._dispatch(
+                            method, path, body
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:  # route bugs must not kill the loop
+                        self.stats["errors"] += 1
+                        status = 500
+                        payload = {"error": f"{type(exc).__name__}: {exc}"}
+                    keep_alive = (
+                        headers.get("connection", "keep-alive").lower()
+                        != "close"
+                    )
+                    writer.write(_encode_response(status, payload, keep_alive))
+                    await writer.drain()
+                finally:
+                    self._inflight -= 1
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -365,17 +519,27 @@ class RPQServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    @staticmethod
     async def _read_request(
+        self,
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, dict, bytes] | None:
+    ) -> tuple[str, str, dict, bytes] | _BadRequest | None:
+        """Parse one bounded request; ``None`` on EOF, a sentinel on junk.
+
+        The parser never buffers more than the stream's head limit plus
+        ``max_request_bytes`` of body: an oversized or lie-length body
+        is rejected with 413 *before* it is read, and a Content-Length
+        that is not a non-negative integer gets a 400 — both as
+        :class:`_BadRequest` sentinels so the connection handler can
+        answer and close instead of silently dropping the connection.
+        """
         try:
             head = await reader.readuntil(b"\r\n\r\n")
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.LimitOverrunError,
-            ConnectionResetError,
-        ):
+        except asyncio.LimitOverrunError:
+            # Headers longer than the StreamReader's limit (64 KiB by
+            # default): the bytes are still buffered, unconsumed; do
+            # not try to resynchronise, just reject and close.
+            return _BadRequest(413, "request head too large")
+        except (asyncio.IncompleteReadError, ConnectionResetError):
             return None
         request_line, *header_lines = head.decode("latin-1").split("\r\n")
         try:
@@ -387,10 +551,23 @@ class RPQServer:
             name, sep, value = line.partition(":")
             if sep:
                 headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0")
         try:
-            length = int(headers.get("content-length", "0"))
+            length = int(raw_length)
         except ValueError:
-            return None
+            return _BadRequest(
+                400, f"malformed Content-Length {raw_length!r}"
+            )
+        if length < 0:
+            return _BadRequest(
+                400, f"malformed Content-Length {raw_length!r}"
+            )
+        if length > self.max_request_bytes:
+            return _BadRequest(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_request_bytes}-byte limit",
+            )
         body = b""
         if length:
             try:

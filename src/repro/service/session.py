@@ -31,6 +31,16 @@ shapes of the engine:
 :meth:`QuerySession.answer` (all pairs), :meth:`answer_from`
 (single source), and :meth:`answer_pair` (one pair, decided by the
 bidirectional search without computing the full answer set).
+
+Crash recovery composes with this contract for free.  A store rebuilt
+by :mod:`repro.service.recovery` comes back at its pre-crash version
+with an *empty* change log whose replay horizon sits at that version
+(``delta_since`` answers ``None`` for anything older), so a session
+constructed over it — retained sweep state is in-memory and dies with
+the process — pays one full sweep per plan on first touch and is then
+back on the incremental path; plans themselves never needed recovering,
+because the plan cache's persisted entries are data-independent and a
+corrupt entry is skipped and recomputed, not fatal.
 """
 
 from __future__ import annotations

@@ -100,6 +100,15 @@ class MaterializedViewStore:
     so a consumer that remembers the version it last saw can ask
     :meth:`delta_since` for exactly what changed instead of diffing
     snapshots — the feed behind incremental answer maintenance.
+
+    With a :class:`~repro.service.wal.WriteAheadLog` attached
+    (:meth:`attach_wal`, or the ``wal`` constructor argument), every
+    version bump additionally frames its effective changes into one WAL
+    record *before the mutation returns* — the durability feed behind
+    crash recovery (:mod:`repro.service.recovery`).  The record's
+    durability depends on the log's fsync policy; a caller that must
+    acknowledge the write calls ``wal.commit()`` (the serving front end
+    does this once per write request).
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class MaterializedViewStore:
         extensions: Mapping[Hashable, Iterable[Pair]] | None = None,
         *,
         log_limit: int = 100_000,
+        wal=None,
     ):
         if log_limit < 0:
             raise ValueError(f"log_limit must be >= 0, got {log_limit}")
@@ -122,9 +132,15 @@ class MaterializedViewStore:
         )
         self._log_limit = log_limit
         self._log_start = 0
+        self._wal = None
         if extensions:
             for symbol, pairs in extensions.items():
                 self.add_many(symbol, pairs)
+        # Attached after the seed load on purpose: the initial
+        # extensions belong in the recovery checkpoint, not the WAL
+        # (recovery re-seeds from the checkpoint and replays only what
+        # changed after it).
+        self._wal = wal
 
     # ------------------------------------------------------------------
     # Mutation (every effective change bumps the version)
@@ -145,6 +161,26 @@ class MaterializedViewStore:
             if dropped_version > self._log_start:
                 self._log_start = dropped_version
 
+    def _append_wal(self, changes: list[tuple[bool, Hashable, Hashable, Hashable]]) -> None:
+        """Frame one version bump's effective changes as one WAL record.
+
+        Called after the in-memory mutation and the change-log append,
+        so the record describes exactly what this bump did; durability
+        of the frame follows the log's fsync policy (the caller commits
+        before acknowledging).  Symbols and endpoints must be strings
+        for the JSON frame — the serving stack's contract (the same one
+        plan persistence imposes).
+        """
+        if self._wal is None:
+            return
+        self._wal.append(
+            (
+                ("insert" if is_insert else "delete", symbol, source, target)
+                for is_insert, symbol, source, target in changes
+            ),
+            self._version,
+        )
+
     def add(self, symbol: Hashable, source: Hashable, target: Hashable) -> bool:
         """Add one tuple to the extension of ``symbol``; ``True`` if new."""
         pairs = self._pairs.setdefault(symbol, set())
@@ -154,6 +190,7 @@ class MaterializedViewStore:
         self._graph.add_edge(source, symbol, target)
         self._version += 1
         self._record(True, symbol, source, target)
+        self._append_wal([(True, symbol, source, target)])
         return True
 
     def remove(
@@ -176,6 +213,7 @@ class MaterializedViewStore:
         self._graph.remove_edge(source, symbol, target)
         self._version += 1
         self._record(False, symbol, source, target)
+        self._append_wal([(False, symbol, source, target)])
         return True
 
     @staticmethod
@@ -215,6 +253,9 @@ class MaterializedViewStore:
             self._version += 1
             for source, target in added:
                 self._record(True, symbol, source, target)
+            self._append_wal(
+                [(True, symbol, source, target) for source, target in added]
+            )
         return len(added)
 
     def remove_many(self, symbol: Hashable, pairs: Iterable[Pair]) -> int:
@@ -240,6 +281,9 @@ class MaterializedViewStore:
             self._version += 1
             for source, target in removed:
                 self._record(False, symbol, source, target)
+            self._append_wal(
+                [(False, symbol, source, target) for source, target in removed]
+            )
         return len(removed)
 
     def replace(self, symbol: Hashable, pairs: Iterable[Pair]) -> None:
@@ -262,10 +306,11 @@ class MaterializedViewStore:
         else:
             self._pairs.pop(symbol, None)
         self._version += 1
-        for source, target in dropped:
-            self._record(False, symbol, source, target)
-        for source, target in gained:
-            self._record(True, symbol, source, target)
+        changes = [(False, symbol, source, target) for source, target in dropped]
+        changes += [(True, symbol, source, target) for source, target in gained]
+        for is_insert, _symbol, source, target in changes:
+            self._record(is_insert, symbol, source, target)
+        self._append_wal(changes)
 
     def load(self, views, db: GraphDB, theory=None) -> None:
         """Materialize every view of ``views`` over ``db`` into the store.
@@ -277,6 +322,115 @@ class MaterializedViewStore:
         """
         for symbol, pairs in views.materialize(db, theory).items():
             self.replace(symbol, pairs)
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoint restore + WAL replay; repro.service.recovery)
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`~repro.service.wal.WriteAheadLog`, or
+        ``None`` for a purely in-memory store."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Start framing every future version bump into ``wal``.
+
+        The store's current contents are *not* written to the log —
+        they are the checkpoint's job.  Attach right after construction
+        (or after :meth:`restore`) and before the first served write.
+        """
+        self._wal = wal
+
+    @classmethod
+    def restore(
+        cls,
+        nodes: Iterable[Hashable],
+        extensions: Mapping[Hashable, Iterable[Pair]],
+        version: int,
+        *,
+        log_limit: int = 100_000,
+    ) -> "MaterializedViewStore":
+        """Rebuild a store from checkpointed state, byte-exactly.
+
+        ``nodes`` must be the checkpointed interning table *in order*:
+        the node universe is re-interned before any tuple is added, so
+        the dense ids — and with them the engine's documented answer
+        order — are identical to the process that wrote the checkpoint.
+        The version counter is pinned to the checkpointed ``version``
+        and the change log starts empty with its replay horizon there
+        (consumers holding older versions correctly see "too stale").
+        No WAL records are produced; attach a log afterwards.
+        """
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        store = cls(log_limit=log_limit)
+        for node in nodes:
+            store._graph.add_node(node)
+        for symbol, pairs in extensions.items():
+            materialized = store._as_pairs(pairs)
+            if not materialized:
+                continue
+            existing = store._pairs.setdefault(symbol, set())
+            for source, target in materialized:
+                if (source, target) in existing:
+                    continue
+                existing.add((source, target))
+                store._graph.add_edge(source, symbol, target)
+        store._version = version
+        store._log_start = version
+        return store
+
+    def apply_wal_changes(
+        self, ops: Iterable[tuple[str, Hashable, Hashable, Hashable]], version: int
+    ) -> int:
+        """Replay one WAL record: apply its changes under one version bump.
+
+        The recovery path.  Unlike :meth:`add`/:meth:`remove` (which
+        bump the version once per call) a WAL record is *one* version
+        bump covering all its changes — exactly how the original
+        mutation logged it — so the replayed store's version counter
+        retraces the pre-crash counter step for step, and every version
+        a pre-crash response pinned is a version the replay passes
+        through.  Changes must be effective (an insert of a present
+        tuple or a delete of an absent one means the record does not
+        follow from this state) and ``version`` must move forward; a
+        violation raises ``ValueError`` with the store untouched, which
+        recovery treats like a torn tail.  No WAL echo is produced.
+        Returns the number of changes applied.
+        """
+        if version <= self._version:
+            raise ValueError(
+                f"replayed version {version} does not advance the store "
+                f"(at {self._version})"
+            )
+        staged = [(op, symbol, source, target) for op, symbol, source, target in ops]
+        for op, symbol, source, target in staged:
+            pairs = self._pairs.get(symbol, set())
+            present = (source, target) in pairs
+            if op == "insert" and present:
+                raise ValueError(
+                    f"replayed insert of present tuple {(symbol, source, target)!r}"
+                )
+            if op == "delete" and not present:
+                raise ValueError(
+                    f"replayed delete of absent tuple {(symbol, source, target)!r}"
+                )
+            if op not in ("insert", "delete"):
+                raise ValueError(f"unknown replay op {op!r}")
+        for op, symbol, source, target in staged:
+            if op == "insert":
+                self._pairs.setdefault(symbol, set()).add((source, target))
+                self._graph.add_edge(source, symbol, target)
+            else:
+                pairs = self._pairs[symbol]
+                pairs.discard((source, target))
+                if not pairs:
+                    del self._pairs[symbol]
+                self._graph.remove_edge(source, symbol, target)
+        self._version = version
+        for op, symbol, source, target in staged:
+            self._record(op == "insert", symbol, source, target)
+        return len(staged)
 
     # ------------------------------------------------------------------
     # Reads

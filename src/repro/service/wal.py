@@ -1,0 +1,370 @@
+"""Write-ahead logging for the serving stack's tenant stores.
+
+Every acknowledged mutation of a durable
+:class:`~repro.service.store.MaterializedViewStore` is first framed into
+one :class:`WalRecord` and appended to a :class:`WriteAheadLog` — a
+single append-only file of CRC32-framed, length-prefixed records — so a
+``kill -9`` after the acknowledgement can always be replayed back to the
+exact acknowledged state (see :mod:`repro.service.recovery` for the
+checkpoint/replay half).
+
+Record framing
+--------------
+One record per store version bump (matching the store's change-log
+granularity: ``add``/``remove`` log one change, ``add_many`` /
+``remove_many`` / ``replace`` log their whole effective batch under a
+single version)::
+
+    [payload length: u32][crc32: u32][seq: u64][version: u64][payload]
+
+* ``payload`` is compact JSON: the effective changes of the bump as
+  ``[["insert"|"delete", symbol, source, target], ...]`` (a ``replace``
+  batch is its deletions followed by its insertions — replayed in that
+  order it reproduces the swap exactly).
+* ``crc32`` covers ``seq | version | payload``, so a flipped bit
+  anywhere in a record — header or body — fails verification.
+* ``seq`` is the log's own monotone record counter and ``version`` the
+  store version *after* the bump; both must be strictly increasing,
+  which is what lets :func:`scan_wal` reject a duplicated tail (a
+  re-appended copy of valid bytes passes every CRC but repeats a seq).
+
+Torn tails
+----------
+A crash mid-append leaves a prefix of a record at the end of the file.
+:func:`scan_wal` stops at the first frame that is short, oversized,
+CRC-invalid, non-monotone, or undecodable, and reports the byte offset
+of the end of the last valid record; :class:`WriteAheadLog` truncates
+the file there on open, so the log converges to a consistent prefix no
+matter where the crash (or a fuzzer's bit flip) landed.
+
+Fsync policy
+------------
+``fsync="always"`` syncs on every append (each record durable before
+the caller proceeds); ``"batch"`` buffers appends and syncs once per
+:meth:`WriteAheadLog.commit` (the serving front end commits once per
+acknowledged write request — group commit); ``"off"`` flushes to the OS
+but never syncs (fastest, loses the tail of acknowledged writes on
+power failure — not on process death, since the OS has the bytes).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalError",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "decode_record",
+    "encode_record",
+    "scan_wal",
+]
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+# length (u32) | crc32 (u32) | seq (u64) | version (u64)
+_HEADER = struct.Struct("<IIQQ")
+
+# A single record is one store version bump; even a bulk `replace` of a
+# large extension stays far below this.  The bound exists so a corrupt
+# length field cannot make the scanner attempt a multi-gigabyte read.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+Change = tuple[str, str, str, str]  # (op, symbol, source, target)
+
+
+class WalError(ValueError):
+    """A write-ahead log frame failed validation (CRC, bounds, order)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable store version bump: its changes, seq, and version.
+
+    ``ops`` holds the bump's effective changes in application order as
+    ``(op, symbol, source, target)`` with ``op`` in ``{"insert",
+    "delete"}``; ``seq`` is the log's monotone record number and
+    ``version`` the store version after applying the record.
+    """
+
+    seq: int
+    version: int
+    ops: tuple[Change, ...]
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Frame ``record`` as header + JSON payload (see module docstring)."""
+    payload = json.dumps(
+        [list(op) for op in record.ops], separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_RECORD_BYTES:
+        raise WalError(
+            f"record payload of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte frame bound"
+        )
+    tail = struct.pack("<QQ", record.seq, record.version) + payload
+    return _HEADER.pack(
+        len(payload), zlib.crc32(tail), record.seq, record.version
+    ) + payload
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> tuple[WalRecord, int]:
+    """Decode one record at ``offset``; returns (record, next offset).
+
+    Raises :class:`WalError` on any framing violation — a short header,
+    an out-of-bounds length, a truncated payload, a CRC mismatch, or an
+    undecodable payload — without reading past the claimed frame.
+    """
+    if offset + _HEADER.size > len(buffer):
+        raise WalError("short header")
+    length, crc, seq, version = _HEADER.unpack_from(buffer, offset)
+    if length > MAX_RECORD_BYTES:
+        raise WalError(f"record length {length} exceeds frame bound")
+    start = offset + _HEADER.size
+    end = start + length
+    if end > len(buffer):
+        raise WalError("truncated payload")
+    payload = buffer[start:end]
+    if zlib.crc32(struct.pack("<QQ", seq, version) + payload) != crc:
+        raise WalError("CRC mismatch")
+    try:
+        raw_ops = json.loads(payload)
+    except ValueError as exc:
+        raise WalError(f"undecodable payload: {exc}") from None
+    if not isinstance(raw_ops, list):
+        raise WalError("payload is not a change list")
+    ops: list[Change] = []
+    for item in raw_ops:
+        if (
+            not isinstance(item, list)
+            or len(item) != 4
+            or not all(isinstance(field, str) for field in item)
+            or item[0] not in ("insert", "delete")
+        ):
+            raise WalError(f"malformed change entry: {item!r}")
+        ops.append((item[0], item[1], item[2], item[3]))
+    return WalRecord(seq=seq, version=version, ops=tuple(ops)), end
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What :func:`scan_wal` found: the valid prefix and how it ended.
+
+    ``records`` is every record of the valid prefix in order;
+    ``valid_bytes`` is the offset just past the last valid record (the
+    truncation point for a torn tail); ``total_bytes`` the file size as
+    scanned; ``error`` a human-readable reason scanning stopped early,
+    or ``None`` when the whole file parsed cleanly.
+    """
+
+    records: tuple[WalRecord, ...]
+    valid_bytes: int
+    total_bytes: int
+    error: str | None
+
+    @property
+    def truncated_bytes(self) -> int:
+        """How many trailing bytes failed validation (0 = clean file)."""
+        return self.total_bytes - self.valid_bytes
+
+
+def scan_wal(path: str | os.PathLike) -> WalScan:
+    """Parse the longest valid record prefix of the log at ``path``.
+
+    Stops at the first frame that fails CRC/bounds validation *or*
+    breaks the monotone seq/version contract (which is how a duplicated
+    tail — valid bytes re-appended by a buggy copy or a fuzzer — is
+    rejected: its first record repeats an already-seen seq).  A missing
+    file scans as empty.  Never raises on corrupt input; the scan result
+    always describes a consistent prefix.
+    """
+    try:
+        with open(path, "rb") as handle:
+            buffer = handle.read()
+    except FileNotFoundError:
+        return WalScan(records=(), valid_bytes=0, total_bytes=0, error=None)
+    records: list[WalRecord] = []
+    offset = 0
+    last_seq = 0
+    last_version = -1
+    error: str | None = None
+    while offset < len(buffer):
+        try:
+            record, end = decode_record(buffer, offset)
+        except WalError as exc:
+            error = f"offset {offset}: {exc}"
+            break
+        if record.seq <= last_seq:
+            error = (
+                f"offset {offset}: non-monotone seq {record.seq} "
+                f"after {last_seq} (duplicated or rewound tail)"
+            )
+            break
+        if record.version <= last_version:
+            error = (
+                f"offset {offset}: non-monotone version {record.version} "
+                f"after {last_version}"
+            )
+            break
+        records.append(record)
+        last_seq = record.seq
+        last_version = record.version
+        offset = end
+    return WalScan(
+        records=tuple(records),
+        valid_bytes=offset,
+        total_bytes=len(buffer),
+        error=error,
+    )
+
+
+class WriteAheadLog:
+    """An append-only, crash-truncating log of store version bumps.
+
+    Opening recovers the file to its longest valid prefix (torn tails
+    from a previous crash are cut off — see :func:`scan_wal`) and
+    resumes appending after the last valid record's seq/version.  The
+    ``fsync`` policy decides when appended records become durable:
+    ``"always"`` per append, ``"batch"`` per :meth:`commit`, ``"off"``
+    never (see the module docstring for the trade-offs).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: str = "batch",
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        scan = scan_wal(self.path)
+        self.last_seq = scan.records[-1].seq if scan.records else 0
+        self.last_version = scan.records[-1].version if scan.records else 0
+        self.truncated_bytes = scan.truncated_bytes
+        self._handle: io.BufferedWriter | None = open(self.path, "ab")
+        if scan.truncated_bytes:
+            # Cut the torn/corrupt tail so the file *is* its valid
+            # prefix; from here on every offset in the file is a record
+            # boundary again.
+            self._handle.truncate(scan.valid_bytes)
+            self._handle.seek(scan.valid_bytes)
+        self._offset = scan.valid_bytes
+        self._synced_offset = scan.valid_bytes
+        self.stats = {
+            "appends": 0,
+            "syncs": 0,
+            "commits": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Bytes written so far (the append position; a valid boundary)."""
+        return self._offset
+
+    def append(self, ops: Iterable[Change], version: int) -> WalRecord:
+        """Frame and append one version bump; returns its record.
+
+        The record's seq is assigned here (monotone per log).  With
+        ``fsync="always"`` the record is durable when this returns; with
+        ``"batch"`` it is durable after the next :meth:`commit`; with
+        ``"off"`` it is handed to the OS on :meth:`commit` but never
+        synced.
+        """
+        if self._handle is None:
+            raise ValueError("write-ahead log is closed")
+        if version <= self.last_version:
+            raise WalError(
+                f"version {version} not past the log's last "
+                f"version {self.last_version}"
+            )
+        record = WalRecord(
+            seq=self.last_seq + 1, version=version, ops=tuple(ops)
+        )
+        frame = encode_record(record)
+        self._handle.write(frame)
+        self._offset += len(frame)
+        self.last_seq = record.seq
+        self.last_version = record.version
+        self.stats["appends"] += 1
+        if self.fsync == "always":
+            self.sync()
+        return record
+
+    def commit(self) -> None:
+        """Make the appended records as durable as the policy promises.
+
+        The serving front end calls this once per acknowledged write
+        request, after appending every record the request produced —
+        group commit under ``fsync="batch"``, a plain flush under
+        ``"off"``, a no-op under ``"always"`` (each append already
+        synced).
+        """
+        if self._handle is None:
+            raise ValueError("write-ahead log is closed")
+        self.stats["commits"] += 1
+        if self.fsync == "batch":
+            self.sync()
+        elif self.fsync == "off":
+            self._handle.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync unconditionally (checkpoints need a hard
+        barrier regardless of the append policy)."""
+        if self._handle is None:
+            raise ValueError("write-ahead log is closed")
+        self._handle.flush()
+        if self._synced_offset != self._offset:
+            os.fsync(self._handle.fileno())
+            self._synced_offset = self._offset
+            self.stats["syncs"] += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[WalRecord]:
+        """Iterate the log's valid records from the start (flushing
+        buffered appends first so the scan sees them)."""
+        if self._handle is not None:
+            self._handle.flush()
+        return iter(scan_wal(self.path).records)
+
+    def close(self) -> None:
+        """Flush, sync (unless ``fsync="off"``), and release the file."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self.fsync != "off" and self._synced_offset != self._offset:
+            os.fsync(self._handle.fileno())
+            self._synced_offset = self._offset
+            self.stats["syncs"] += 1
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.path!r}, fsync={self.fsync!r}, "
+            f"seq={self.last_seq}, version={self.last_version}, "
+            f"bytes={self._offset})"
+        )

@@ -1,0 +1,317 @@
+"""Fault injection: ``kill -9`` a durable server, restart, prove nothing
+acknowledged was lost.
+
+This is the tentpole acceptance test for the durability layer.  A real
+``repro serve --data-dir`` subprocess takes traffic from a synchronous
+writer while a timer thread SIGKILLs it at seeded wall-clock offsets
+(:func:`repro.rpq.workload.make_crash_points`) — no drain, no atexit,
+the process dies mid-write.  A second process then recovers from the
+same data directory and must satisfy the crash oracle
+(:func:`repro.service.loadgen.replay_crash_oracle`): the recovered
+version accounts for every acknowledged batch plus at most one
+unacknowledged in-flight batch, and every workload query answered by
+the recovered server is byte-identical to a single-threaded replay
+positioned at that version.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.rpq.workload import make_crash_points
+from repro.service.loadgen import (
+    _expected_payload,
+    _query_payload,
+    _update_payload,
+    make_tenant_workload,
+    replay_crash_oracle,
+)
+
+_NAME, _FAMILY, _SEED, _EDGES = "alpha", "grid", 7, 120
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _workload():
+    return make_tenant_workload(_NAME, _FAMILY, _SEED, edges=_EDGES)
+
+
+def _spawn_server(data_dir, *, fsync="batch"):
+    """Start ``repro serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--data-dir",
+            str(data_dir),
+            "--fsync",
+            fsync,
+            "--workload-tenant",
+            f"{_NAME}={_FAMILY}:{_SEED}:{_EDGES}",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited before announcing its port "
+                f"(rc={proc.poll()})"
+            )
+        if line.startswith("serving ") and "http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return proc, port
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("server never announced its port")
+
+
+def _post(port, path, payload, timeout=60):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        body = response.read()
+        return response.status, json.loads(body) if body else {}
+    finally:
+        connection.close()
+
+
+def _get(port, path, timeout=60):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _drive_writes_until_crash(port, workload, acked):
+    """The synchronous writer: send a batch, await the 200, append the
+    ack, repeat — until the stream ends or the server dies under us."""
+    for op in workload.traffic:
+        if op.kind != "update" or not op.updates:
+            continue
+        while True:
+            try:
+                status, payload = _post(
+                    port, f"/tenants/{workload.name}/update", _update_payload(op)
+                )
+            except OSError:
+                return  # the kill landed mid-request: this batch is unacked
+            if status == 200:
+                acked.append(payload)
+                break
+            if status == 429:
+                time.sleep(0.005)
+                continue
+            return  # server is going down (e.g. 503 during shutdown)
+
+
+def _verify_recovered(port, workload, acked):
+    """Restarted-server side of the oracle: version + byte-equal answers."""
+    status, stats = _get(port, f"/tenants/{workload.name}/stats")
+    assert status == 200
+    recovered_version = stats["version"]
+    assert stats["durability"]["recoveries"] == 1
+
+    store, session = replay_crash_oracle(workload, acked, recovered_version)
+    try:
+        for op in workload.traffic:
+            if op.kind != "query":
+                continue
+            status, payload = _post(
+                port, f"/tenants/{workload.name}/query", _query_payload(op)
+            )
+            assert status == 200
+            assert payload["version"] == recovered_version
+            expected = _expected_payload(session, payload)
+            for key, value in expected.items():
+                assert payload[key] == value, (
+                    f"query {op.query!r} ({payload['mode']}): recovered "
+                    f"server and oracle disagree on {key}"
+                )
+    finally:
+        session.close()
+    return recovered_version
+
+
+class TestKillNine:
+    def test_sigkill_at_seeded_points_loses_no_acked_write(self, tmp_path):
+        """The headline guarantee, three seeded kill points deep: SIGKILL
+        mid-traffic, restart, zero acknowledged-write loss, byte-matched
+        answers.  Each kill point gets a fresh data directory so the
+        acked prefix is exactly 1..k for the oracle."""
+        for point, delay in enumerate(
+            make_crash_points(_FAMILY, _SEED, count=3)
+        ):
+            data_dir = tmp_path / f"crash-{point}"
+            workload = _workload()
+            proc, port = _spawn_server(data_dir)
+            acked: list[dict] = []
+            try:
+                timer = threading.Timer(
+                    delay, lambda: os.kill(proc.pid, signal.SIGKILL)
+                )
+                timer.start()
+                _drive_writes_until_crash(port, workload, acked)
+                timer.cancel()
+                proc.kill()
+            finally:
+                proc.wait(timeout=60)
+                proc.stdout.close()
+
+            survivor, port = _spawn_server(data_dir)
+            try:
+                # The oracle inside asserts the headline claims: acked
+                # seqs form the prefix 1..k, the recovered version covers
+                # all of them plus at most one unacked in-flight batch,
+                # and every query answer matches byte for byte.
+                recovered_version = _verify_recovered(port, workload, acked)
+                assert recovered_version >= 1  # at least the seed checkpoint
+            finally:
+                _post(port, "/shutdown", {})
+                survivor.wait(timeout=60)
+                survivor.stdout.close()
+
+    def test_post_recovery_writes_keep_working(self, tmp_path):
+        """After a kill and recovery the tenant is fully writable: the
+        WAL resumes past the truncated tail and new writes ack."""
+        workload = _workload()
+        proc, port = _spawn_server(tmp_path)
+        acked: list[dict] = []
+        writer = threading.Thread(
+            target=_drive_writes_until_crash, args=(port, workload, acked)
+        )
+        writer.start()
+        time.sleep(0.2)
+        os.kill(proc.pid, signal.SIGKILL)
+        writer.join(timeout=60)
+        proc.wait(timeout=60)
+        proc.stdout.close()
+
+        survivor, port = _spawn_server(tmp_path)
+        try:
+            status, payload = _post(
+                port,
+                f"/tenants/{_NAME}/update",
+                {
+                    "ops": [
+                        {
+                            "op": "insert",
+                            "symbol": sorted(workload.config.views.symbols)[0],
+                            "source": "phoenix",
+                            "target": "phoenix",
+                        }
+                    ]
+                },
+            )
+            assert status == 200
+            assert payload["applied"] == 1
+        finally:
+            _post(port, "/shutdown", {})
+            survivor.wait(timeout=60)
+            survivor.stdout.close()
+
+
+class TestRecoverCli:
+    def test_recover_reports_every_tenant_and_exits_clean(self, tmp_path):
+        workload = _workload()
+        proc, port = _spawn_server(tmp_path)
+        acked: list[dict] = []
+        _drive_writes_until_crash(port, workload, acked)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+        proc.stdout.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "recover",
+                "--data-dir",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        report = [
+            json.loads(line) for line in result.stdout.splitlines() if line
+        ]
+        assert [entry["tenant"] for entry in report] == [_NAME]
+        assert report[0]["quarantined"] == []
+        assert report[0]["wal_error"] is None
+        assert report[0]["version"] >= len(acked)
+
+    def test_recover_checkpoint_flag_rolls_a_checkpoint(self, tmp_path):
+        workload = _workload()
+        proc, port = _spawn_server(tmp_path)
+        acked: list[dict] = []
+        _drive_writes_until_crash(port, workload, acked)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+        proc.stdout.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "recover",
+                "--data-dir",
+                str(tmp_path),
+                "--checkpoint",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        report = [
+            json.loads(line) for line in result.stdout.splitlines() if line
+        ]
+        assert "new_checkpoint" in report[0]
+        from repro.service.recovery import list_checkpoints
+
+        versions = [v for v, _ in list_checkpoints(tmp_path / _NAME)]
+        assert report[0]["version"] in versions
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

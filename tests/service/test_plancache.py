@@ -122,6 +122,32 @@ class TestCache:
             after.get_or_build("a.b", views, theory)
             assert after.stats["loaded"] == 1
 
+    def test_corrupt_entry_skips_with_a_warning(
+        self, tmp_path, theory, views, caplog
+    ):
+        """Corruption is *diagnosed*, not just survived: every skipped
+        entry names the file and the decode failure in a log warning, and
+        the wrong-shape payloads that used to escape the narrow except
+        clause (a JSON array, a number, an object missing its keys) are
+        all caught the same way."""
+        import logging
+
+        plan_dir = tmp_path / "plans"
+        cache = RewritePlanCache(plan_dir)
+        cache.get_or_build("a.b", views, theory)
+        (plan_file,) = plan_dir.glob("*.json")
+
+        for bad in ("[1, 2, 3]", "42", '"plan"', '{"views": null}'):
+            plan_file.write_text(bad)
+            fresh = RewritePlanCache(plan_dir)
+            with caplog.at_level(logging.WARNING, "repro.service.plancache"):
+                caplog.clear()
+                assert fresh.get("a.b", views, theory) is None
+            assert fresh.stats["load_errors"] == 1
+            (record,) = caplog.records
+            assert "skipping corrupt plan-cache entry" in record.getMessage()
+            assert plan_file.name in record.getMessage()
+
     def test_get_never_builds(self, tmp_path, theory, views):
         cache = RewritePlanCache(tmp_path / "plans")
         assert cache.get("a.b", views, theory) is None

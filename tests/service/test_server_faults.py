@@ -8,7 +8,11 @@ Three failure families, each of which must degrade — never corrupt:
   full recompute, not an error;
 * admission overflow returns 429 without touching the tenant's session
   state, and the tenant serves correct answers as soon as the backlog
-  drains.
+  drains;
+* malformed or hostile request framing — lie-length or oversized
+  bodies, unparseable ``Content-Length``, unbounded header blocks — is
+  rejected with 413/400 before any body buffering, and the server keeps
+  serving well-formed traffic afterwards.
 """
 
 from __future__ import annotations
@@ -211,6 +215,101 @@ class TestAdmissionOverflow:
         finally:
             release.set()
             handle.stop()
+
+
+def _raw_exchange(server, head: str, body: bytes = b"") -> tuple[int, dict]:
+    """Send a hand-framed HTTP request and parse the status + JSON body
+    (urllib/http.client refuse to emit the malformed framing under test)."""
+    import socket
+
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        sock.sendall(head.encode("latin-1") + body)
+        sock.shutdown(socket.SHUT_WR)
+        blob = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            blob += chunk
+    head_blob, _, payload = blob.partition(b"\r\n\r\n")
+    status = int(head_blob.split(None, 2)[1])
+    return status, (json.loads(payload) if payload else {})
+
+
+class TestRequestBounds:
+    @pytest.fixture()
+    def bounded(self):
+        server = RPQServer({"alpha": _config()}, max_request_bytes=1024)
+        handle = run_in_thread(server)
+        try:
+            yield server, handle
+        finally:
+            handle.stop()
+
+    def test_oversized_body_rejected_413_before_buffering(self, bounded):
+        server, handle = bounded
+        big = json.dumps(
+            {"query": "a.b", "padding": "x" * 4096}
+        ).encode()
+        status, body = _raw_exchange(
+            server,
+            "POST /tenants/alpha/query HTTP/1.1\r\n"
+            "Host: t\r\nContent-Type: application/json\r\n"
+            f"Content-Length: {len(big)}\r\n\r\n",
+            big,
+        )
+        assert status == 413
+        assert "1024-byte limit" in body["error"]
+        assert server.stats["bad_requests"] == 1
+
+    def test_lie_length_header_rejected_without_reading_the_body(self, bounded):
+        server, _handle = bounded
+        # The header claims 10 MiB; no body ever arrives.  The bound
+        # check fires on the declared length alone, so the response is
+        # immediate rather than a read-until-timeout stall.
+        status, body = _raw_exchange(
+            server,
+            "POST /tenants/alpha/query HTTP/1.1\r\n"
+            "Host: t\r\nContent-Length: 10485760\r\n\r\n",
+        )
+        assert status == 413
+
+    @pytest.mark.parametrize("raw_length", ["banana", "-5", "0x10", "1e3"])
+    def test_malformed_content_length_rejected_400(self, bounded, raw_length):
+        server, _handle = bounded
+        status, body = _raw_exchange(
+            server,
+            "POST /tenants/alpha/query HTTP/1.1\r\n"
+            f"Host: t\r\nContent-Length: {raw_length}\r\n\r\n",
+        )
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_header_block_rejected_413(self, bounded):
+        server, _handle = bounded
+        status, body = _raw_exchange(
+            server,
+            "POST /tenants/alpha/query HTTP/1.1\r\n"
+            "Host: t\r\n"
+            f"X-Filler: {'y' * 200_000}\r\n\r\n",
+        )
+        assert status == 413
+        assert "head" in body["error"]
+
+    def test_server_keeps_serving_after_rejections(self, bounded):
+        server, handle = bounded
+        for raw in ("banana", "999999999"):
+            _raw_exchange(
+                server,
+                "POST /tenants/alpha/query HTTP/1.1\r\n"
+                f"Host: t\r\nContent-Length: {raw}\r\n\r\n",
+            )
+        status, body = _request(
+            handle.url, "POST", "/tenants/alpha/query", {"query": "a.b"}
+        )
+        assert status == 200
+        assert body["answers"] == [["u", "z"], ["w", "z"]]
+        assert server.stats["bad_requests"] == 2
 
 
 if __name__ == "__main__":  # pragma: no cover
